@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables or figures at a
+reduced scale (so the whole harness runs in minutes); the full-scale run
+is ``python -m repro.evaluation.run_all``. Results are printed so the
+shape (who wins, by how much, where the crossovers are) can be compared
+with the paper -- see EXPERIMENTS.md for the recorded comparison.
+"""
+
+import pytest
+
+from repro.evaluation.runner import ExperimentCache
+
+#: Reduced-scale settings shared by the table/figure benchmarks.
+BENCH_SCALE = 0.2
+BENCH_TIMEOUT = 600_000
+BENCH_SEED = 2024
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """One shared cache so benchmark files reuse each other's solves."""
+    return ExperimentCache(seed=BENCH_SEED, scale=BENCH_SCALE, timeout=BENCH_TIMEOUT)

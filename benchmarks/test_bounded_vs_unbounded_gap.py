@@ -1,0 +1,20 @@
+"""Benchmark: the intro's bounded-vs-unbounded solving gap.
+
+Paper shape to match: solving the operation-equivalent bounded constraint
+is faster on (geometric) average than solving the unbounded original --
+the paper measures 1.8x-5.5x with Z3.
+"""
+
+from repro.evaluation import bounded_gap
+
+
+def test_bounded_gap(benchmark, cache):
+    result = benchmark.pedantic(
+        bounded_gap.measure_gap, args=(cache,), kwargs={"profile": "zorro"},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(bounded_gap.render(cache))
+    assert result["count"] > 0
+    # The unbounded side is slower on average (ratio above 1).
+    assert result["geomean_ratio"] > 1.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 2 (fixed-width transformation sweep).
+
+Paper shape to match:
+- Fig. 2a: solving time grows with width (the 16-bit-normalized curve is
+  below 1 for narrower widths and above 1 for wider ones).
+- Fig. 2b: the fraction of constraints whose satisfiability result
+  changes *decreases* as width grows (wider = more often sufficient).
+"""
+
+from repro.evaluation import fig2
+
+
+def test_fig2(benchmark, cache):
+    results = benchmark.pedantic(
+        fig2.sweep, args=(cache,), kwargs={"logics": ("QF_NIA", "QF_LIA")},
+        iterations=1, rounds=1,
+    )
+    print()
+    normalized = fig2.normalized_times(results)
+    for logic, row in normalized.items():
+        print(f"{logic}: " + "  ".join(f"w{w}={v:.2f}" for w, v in row.items()))
+    for logic, per_width in results.items():
+        changed = {w: d["changed_fraction"] for w, d in per_width.items()}
+        print(f"{logic} changed%: " + "  ".join(f"w{w}={100*v:.0f}%" for w, v in changed.items()))
+        # Fig. 2b shape: wider widths preserve semantics at least as often
+        # as the narrowest width.
+        widths = sorted(changed)
+        assert changed[widths[-1]] <= changed[widths[0]]
+    # Fig. 2a shape: the widest column is slower than the narrowest.
+    for logic in ("QF_NIA",):
+        row = normalized[logic]
+        widths = sorted(row)
+        assert row[widths[-1]] >= row[widths[0]]

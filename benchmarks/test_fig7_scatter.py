@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (before/after scatter).
+
+Paper shape to match: no point above the diagonal (portfolio semantics),
+improvements and tractability points concentrated in QF_NIA.
+"""
+
+from repro.evaluation import fig7
+from repro.evaluation.runner import to_virtual_seconds
+
+
+def test_fig7(benchmark, cache):
+    series = benchmark.pedantic(
+        fig7.scatter_series, args=(cache,), kwargs={"logics": ("QF_NIA", "QF_LIA")},
+        iterations=1, rounds=1,
+    )
+    print()
+    total_improved = 0
+    timeout_seconds = to_virtual_seconds(cache.timeout)
+    for (logic, profile), points in series.items():
+        summary = fig7.quadrant_summary(points, timeout_seconds=timeout_seconds)
+        print(f"{logic}/{profile}: {summary}")
+        assert summary["above_diagonal"] == 0
+        total_improved += summary["improved"] + summary["tractability"]
+    assert total_improved > 0

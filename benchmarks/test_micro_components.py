@@ -1,0 +1,112 @@
+"""Micro-benchmarks for the performance-critical components.
+
+Unlike the table/figure benchmarks these use pytest-benchmark's normal
+multi-round timing: they track the wall-clock performance of the hot
+paths (useful when modifying the CDCL loop, the bit-blaster, or the
+contractor).
+"""
+
+import random
+
+from repro.arith.contractor import Box, Contractor, literals_to_atoms
+from repro.arith.interval import Interval
+from repro.arith.simplex import Simplex
+from repro.bv.bitblast import BitBlaster
+from repro.sat.cnf import CNF
+from repro.sat.solver import solve_cnf
+from repro.smtlib import build, parse_script
+
+
+def _random_3sat(num_vars, ratio, seed):
+    rng = random.Random(seed)
+    cnf = CNF(num_vars)
+    for _ in range(int(ratio * num_vars)):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v * rng.choice((1, -1)) for v in variables])
+    return cnf
+
+
+def test_cdcl_random_3sat(benchmark):
+    cnf = _random_3sat(150, 4.1, seed=11)
+
+    def solve():
+        return solve_cnf(cnf)[0]
+
+    result = benchmark(solve)
+    assert result in ("sat", "unsat")
+
+
+def test_bitblast_multiplier(benchmark):
+    x = build.BitVecVar("x", 16)
+    y = build.BitVecVar("y", 16)
+    term = build.Eq(build.BVMul(x, y), build.BitVecConst(12345, 16))
+
+    def blast():
+        blaster = BitBlaster()
+        blaster.assert_term(term)
+        return len(blaster.cnf.clauses)
+
+    clauses = benchmark(blast)
+    assert clauses > 1000
+
+
+def test_simplex_dense_system(benchmark):
+    rng = random.Random(3)
+    constraints = []
+    for _ in range(40):
+        coefficients = {f"v{i}": rng.randint(-5, 5) for i in range(8)}
+        constraints.append((coefficients, rng.choice(("<=", ">=")), rng.randint(-20, 20)))
+
+    def solve():
+        simplex = Simplex()
+        try:
+            for coefficients, relation, bound in constraints:
+                simplex.assert_constraint(coefficients, relation, bound)
+            return simplex.check()
+        except Exception:
+            return False
+
+    benchmark(solve)
+
+
+def test_contractor_fixpoint(benchmark):
+    script = parse_script(
+        "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+        "(assert (= (+ (* x x) (* y y) (* z z)) 450))"
+        "(assert (> x 0))(assert (> y x))(assert (> z y))"
+    )
+    atoms, _ = literals_to_atoms(script.assertions)
+    contractor = Contractor(atoms)
+
+    def contract():
+        box = Box({name: Interval(-50, 50) for name in ("x", "y", "z")})
+        return contractor.contract(box)
+
+    result = benchmark(contract)
+    assert result is not None
+
+
+def test_parser_throughput(benchmark):
+    source = "(set-logic QF_NIA)" + "".join(
+        f"(declare-fun v{i} () Int)" for i in range(20)
+    )
+    source += "".join(
+        f"(assert (> (+ (* v{i} v{(i + 1) % 20}) {i}) {i * 3}))" for i in range(20)
+    )
+    script = benchmark(parse_script, source)
+    assert len(script.assertions) == 20
+
+
+def test_exact_evaluator(benchmark):
+    from repro.smtlib.evaluator import evaluate
+
+    script = parse_script(
+        "(declare-fun x () Int)(declare-fun y () Int)"
+        "(assert (= (+ (* x x x) (* y y y)) 1064))"
+    )
+    term = script.conjunction()
+
+    def run():
+        return evaluate(term, {"x": 4, "y": 10})
+
+    assert benchmark(run) is True

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (theory properties summary)."""
+
+from repro.evaluation import table1
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(table1.render, iterations=1, rounds=1)
+    print()
+    print(text)
+    assert "Nonlinear Integer Arithmetic" in text

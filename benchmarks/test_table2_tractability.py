@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 2 (tractability improvements).
+
+Paper shape to match: QF_NIA dominates; the enumeration-based profile
+(corvus ~ CVC5) gains far more tractability improvements than the
+contraction-based one (zorro ~ Z3); STAUB's inferred widths give at least
+as many improvements as fixed 16-bit.
+"""
+
+from repro.evaluation import table2
+
+
+def test_table2(benchmark, cache):
+    table = benchmark.pedantic(
+        table2.tractability_counts, args=(cache,), iterations=1, rounds=1
+    )
+    print()
+    print(table2.render(cache))
+
+    nia = table["QF_NIA"]
+    # corvus (CVC5-like) gains more than zorro (Z3-like) on QF_NIA.
+    assert nia["corvus"]["staub"] >= nia["zorro"]["staub"]
+    # The NIA gains dominate the LRA ones (the paper's zero-LRA row).
+    assert nia["corvus"]["staub"] >= table["QF_LRA"]["corvus"]["staub"]
+    # Inference is at least as good as the oversized fixed width.
+    assert nia["corvus"]["staub"] >= nia["corvus"]["fixed16"]

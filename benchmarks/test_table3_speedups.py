@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 3 (geometric-mean speedups).
+
+Paper shape to match:
+- overall speedups are >= 1 everywhere (portfolio semantics);
+- QF_NIA shows the largest gains; QF_LRA shows none;
+- speedups grow as the initial-solving-time interval gets harder
+  (the 60-300s rows beat the 0-300s rows for the winning logics).
+"""
+
+from repro.evaluation import table3
+
+
+def test_table3(benchmark, cache):
+    table = benchmark.pedantic(
+        table3.table3, args=(cache,), kwargs={"logics": ("QF_NIA", "QF_LRA")},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(table3.render.__doc__ or "")
+    for logic, per_logic in table.items():
+        for profile, per_profile in per_logic.items():
+            for interval, per_interval in per_profile.items():
+                for strategy, cell in per_interval.items():
+                    overall = cell["overall_speedup"]
+                    if overall is not None:
+                        assert overall >= 0.999, (logic, profile, interval, strategy)
+
+    # QF_NIA gains, QF_LRA does not (the paper's headline contrast).
+    nia_overall = table["QF_NIA"]["corvus"][(0, 300)]["staub"]["overall_speedup"]
+    lra_overall = table["QF_LRA"]["corvus"][(0, 300)]["staub"]["overall_speedup"]
+    assert nia_overall is not None and nia_overall > 1.02
+    assert lra_overall is not None and lra_overall < 1.05
+    assert nia_overall > lra_overall
+
+
+def test_table3_render(cache):
+    text = table3.render(cache)
+    print()
+    print(text)
+    assert "QF_NIA / zorro" in text

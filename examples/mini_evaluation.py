@@ -1,0 +1,41 @@
+"""A miniature version of the paper's Table 3 over a small suite.
+
+Generates scaled-down QF_NIA and QF_LIA suites, runs both solver
+profiles with three width strategies, and prints verified-case counts
+and geometric-mean speedups -- the same pipeline the full benchmark
+harness (`python -m repro.evaluation.run_all`) uses at scale.
+
+Run with:  python examples/mini_evaluation.py
+"""
+
+from repro.evaluation.runner import ExperimentCache
+from repro.evaluation.stats import geometric_mean, speedup
+
+LOGICS = ("QF_NIA", "QF_LIA")
+STRATEGIES = ("fixed8", "fixed16", "staub")
+
+
+def main():
+    cache = ExperimentCache(seed=7, scale=0.25, timeout=800_000)
+    for logic in LOGICS:
+        print(f"=== {logic} ({len(cache.suite(logic))} constraints) ===")
+        for profile in ("zorro", "corvus"):
+            cells = []
+            for strategy in STRATEGIES:
+                rows = cache.rows(logic, profile, strategy)
+                verified = [r for r in rows if r["verified"]]
+                overall = geometric_mean(
+                    [speedup(r["t_pre"], r["final"]) for r in rows]
+                )
+                tractability = sum(1 for r in rows if r["tractability"])
+                cells.append(
+                    f"{strategy}: verified={len(verified):2d} "
+                    f"tract={tractability:2d} overall={overall:5.2f}x"
+                )
+            print(f"  {profile:7s} | " + " | ".join(cells))
+        print()
+    print("(Run `python -m repro.evaluation.run_all` for the full tables.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: solve an unbounded constraint with and without STAUB.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import Staub
+from repro.core.pipeline import portfolio_time
+from repro.evaluation.runner import TIMEOUT_WORK, to_virtual_seconds
+from repro.smtlib import parse_script, print_script
+from repro.solver import solve_script
+
+CONSTRAINT = """
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(declare-fun z () Int)
+(assert (= (+ (* x y) (* y z) (* x z)) 347))
+(assert (> x 0))
+(assert (< x y))
+(assert (< y z))
+(check-sat)
+"""
+
+
+def main():
+    script = parse_script(CONSTRAINT)
+    print("Input constraint:")
+    print(print_script(script))
+
+    # 1. Solve directly with the native unbounded solver (the baseline).
+    baseline = solve_script(script, budget=TIMEOUT_WORK, profile="zorro")
+    print(f"baseline ({baseline.engine}): {baseline.status} "
+          f"in {to_virtual_seconds(baseline.work):.2f} virtual seconds")
+
+    # 2. Run theory arbitrage: infer bounds, translate to bitvectors,
+    #    solve the bounded constraint, verify the model exactly.
+    staub = Staub()
+    report = staub.run(script, budget=TIMEOUT_WORK)
+    print(f"STAUB: {report.case} at width {report.width} "
+          f"in {to_virtual_seconds(report.total_work):.2f} virtual seconds")
+    if report.model is not None:
+        print(f"verified model: {report.model}")
+
+    # 3. Portfolio semantics: the user sees the better of the two.
+    final = portfolio_time(baseline.work, report)
+    print(f"portfolio time: {to_virtual_seconds(final):.2f} virtual seconds "
+          f"(speedup {baseline.work / final:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Driving the termination-proving client analysis (the paper's RQ3).
+
+Analyzes a handful of while-language programs with the Automizer-like
+driver: ranking-function synthesis (QF_LIA via Farkas' lemma) plus
+geometric nontermination arguments (QF_NIA), with STAUB applied to every
+generated constraint under portfolio semantics.
+
+Run with:  python examples/termination_client.py
+"""
+
+from repro.evaluation.runner import to_virtual_seconds
+from repro.termination import Automizer, parse_program
+from repro.termination.ranking import extract_ranking_function, ranking_constraints
+from repro.solver import solve_script
+
+PROGRAMS = {
+    "countdown": "x := 48; while (x > 0) { x := x - 3; }",
+    "race": "x := 0; y := 60; while (x < y) { x := x + 4; y := y - 1; }",
+    "geometric-divergence": "x := 2; while (x > 0) { x := 3 * x; }",
+    "spiral-divergence": (
+        "x := 900; y := 700; "
+        "while (x > 500) { x := 2 * x - 1 * y; y := 2 * y - 700; }"
+    ),
+    "fixed-point": "x := 7; while (x > 0) { x := x; }",
+}
+
+
+def show_ranking_function(program):
+    """If a linear ranking function exists, print it."""
+    script = ranking_constraints(program, coefficient_bound=16)
+    result = solve_script(script, budget=2_000_000)
+    if result.is_sat:
+        coefficients, constant = extract_ranking_function(program, result.model)
+        terms = [str(constant)] + [
+            f"{c}*{name}" for name, c in coefficients.items() if c
+        ]
+        print(f"    ranking function: r = {' + '.join(terms)}")
+
+
+def main():
+    automizer = Automizer(profile="zorro", use_staub=True)
+    for name, source in PROGRAMS.items():
+        program = parse_program(source, name)
+        print(f"{name}: {source}")
+        result = automizer.analyze(program)
+        print(f"    verdict: {result.verdict} "
+              f"({len(result.queries)} solver queries)")
+        if result.verdict == "terminating":
+            show_ranking_function(program)
+        baseline = to_virtual_seconds(result.baseline_work)
+        final = to_virtual_seconds(result.final_work)
+        marker = ""
+        if result.final_work < result.baseline_work:
+            marker = f"  <-- STAUB win ({result.baseline_work / result.final_work:.1f}x)"
+        print(f"    solver cost: {baseline:.2f} vs -> {final:.2f} vs{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

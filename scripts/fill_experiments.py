@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Splice run_all output into EXPERIMENTS.md's RESULTS placeholders.
+
+Usage: python scripts/fill_experiments.py results_full.txt EXPERIMENTS.md
+
+Each ``<!-- RESULTS:<name> -->`` marker is replaced by the corresponding
+experiment's section from the run_all output, fenced as a code block.
+Idempotent: an already-filled block (marker followed by a fence) is
+replaced rather than duplicated.
+"""
+
+import re
+import sys
+
+#: Maps marker names to the banner line that opens the section.
+SECTION_STARTS = {
+    "bounded_gap": "Bounded vs unbounded solving gap",
+    "fig2": "Figure 2a:",
+    "table2": "Table 2:",
+    "table3": "Table 3:",
+    "fig7": "Figure 7:",
+    "ablation": "Width inference ablation",
+    "fig8": "Figure 8:",
+    "motivating": "Section 2 motivating comparison",
+    "families": "Per-family breakdown",
+}
+
+
+def split_sections(results_text):
+    """Split run_all output into {experiment: body} via the took-markers."""
+    sections = {}
+    blocks = results_text.split("=" * 78)
+    for block in blocks:
+        match = re.search(r"\[(\w+) took [\d.]+s wall\]", block)
+        if not match:
+            continue
+        name = match.group(1)
+        body = re.sub(r"\[\w+ took [\d.]+s wall\]\s*", "", block).strip()
+        sections[name] = body
+    return sections
+
+
+def fill(experiments_text, sections):
+    for name, body in sections.items():
+        marker = f"<!-- RESULTS:{name} -->"
+        if marker not in experiments_text:
+            continue
+        replacement = marker + "\n\n```\n" + body + "\n```"
+        # Replace marker plus any previously spliced fence right after it.
+        pattern = re.compile(
+            re.escape(marker) + r"(\s*\n```.*?```)?", re.DOTALL
+        )
+        experiments_text = pattern.sub(lambda _m: replacement, experiments_text, count=1)
+    return experiments_text
+
+
+def main(argv):
+    results_path, experiments_path = argv[1], argv[2]
+    with open(results_path, encoding="utf-8") as handle:
+        sections = split_sections(handle.read())
+    with open(experiments_path, encoding="utf-8") as handle:
+        text = handle.read()
+    text = fill(text, sections)
+    with open(experiments_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    filled = [name for name in sections if f"RESULTS:{name}" in text]
+    print(f"spliced sections: {sorted(sections)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` and ``python setup.py develop`` work in
+offline environments whose setuptools predates PEP 660 editable wheels
+(which additionally require the ``wheel`` package). All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

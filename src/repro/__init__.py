@@ -1,0 +1,26 @@
+"""STAUB reproduction: SMT theory arbitrage from unbounded to bounded theories.
+
+This package reproduces, from scratch and in pure Python, the system of
+"SMT Theory Arbitrage: Approximating Unbounded Constraints using Bounded
+Theories" (Mikek & Zhang, PLDI 2024): an SMT-LIB front end, a CDCL SAT
+core, a bit-blasting bitvector solver, exact-arithmetic unbounded solvers,
+the STAUB abstract-interpretation bound-inference and transformation
+pipeline, a SLOT-like bounded-constraint optimizer, and a termination
+proving client analysis.
+
+Public entry points:
+
+- :mod:`repro.smtlib` -- sorts, terms, parser, printer, evaluator.
+- :mod:`repro.solver` -- the native solver stack and portfolio runner.
+- :mod:`repro.core` -- the paper's contribution: bound inference via
+  abstract interpretation, sort correspondences, constraint transformation,
+  verification, and the end-to-end arbitrage pipeline.
+- :mod:`repro.slot` -- compiler-optimization passes for bounded constraints.
+- :mod:`repro.termination` -- the Ultimate-Automizer-like client analysis.
+- :mod:`repro.benchgen` -- seeded workload generators per SMT-LIB logic.
+- :mod:`repro.evaluation` -- experiment harness for every table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

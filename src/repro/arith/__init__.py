@@ -1,0 +1,28 @@
+"""Unbounded-theory arithmetic solvers (the "expensive side").
+
+These are the baseline decision procedures that play the role of Z3/CVC5's
+unbounded arithmetic engines in the reproduction:
+
+- :mod:`repro.arith.linear` -- linear-form extraction from terms.
+- :mod:`repro.arith.simplex` -- exact-rational general simplex with
+  delta-rationals for strict inequalities (QF_LRA).
+- :mod:`repro.arith.lia` -- branch-and-bound over the simplex (QF_LIA).
+- :mod:`repro.arith.interval` -- interval arithmetic and HC4-style
+  forward/backward contraction over term DAGs.
+- :mod:`repro.arith.nia` -- interval propagation + branching + magnitude
+  deepening for nonlinear integers (incomplete, as the theory demands).
+- :mod:`repro.arith.nra` -- ICP with dyadic splitting for nonlinear reals.
+"""
+
+from repro.arith.linear import LinearExpr, NonlinearTermError, linearize
+from repro.arith.simplex import DeltaRational, Simplex
+from repro.arith.interval import Interval
+
+__all__ = [
+    "LinearExpr",
+    "NonlinearTermError",
+    "linearize",
+    "DeltaRational",
+    "Simplex",
+    "Interval",
+]

@@ -1,0 +1,228 @@
+"""Linear integer arithmetic via branch-and-bound over the simplex.
+
+The classic LIA loop: solve the real relaxation exactly; if some integer
+variable takes a fractional value, branch on ``x <= floor(v)`` versus
+``x >= floor(v) + 1`` and recurse. Decidable, but the search tree can be
+enormous -- the paper's Table 1 point that the theoretical solution bound
+``2n(ma)^{2m+1}`` is "practically unbounded" shows up here as real work.
+"""
+
+from fractions import Fraction
+
+from repro.arith.contractor import GE, GT, LE, LT, EQ, NE, literals_to_atoms
+from repro.arith.linear import linearize
+from repro.arith.nia import ArithResult
+from repro.arith.simplex import Simplex, SimplexConflict
+from repro.errors import BudgetExceeded, UnsupportedLogicError
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.sorts import INT
+
+#: Simplex pivots charged per branch-and-bound node, in addition to the
+#: pivots the simplex itself performs.
+NODE_OVERHEAD = 5
+
+#: Abandon branches deeper than this; the subtree becomes "unknown".
+MAX_BRANCH_DEPTH = 64
+
+
+class _LinearAtom:
+    """A linear atom ``expr <relation> 0`` in solver-ready form."""
+
+    __slots__ = ("coefficients", "relation", "constant")
+
+    def __init__(self, coefficients, relation, constant):
+        self.coefficients = coefficients
+        self.relation = relation
+        self.constant = constant
+
+
+def _compile_atoms(atoms, integer_names):
+    """Turn contractor atoms into linear constraints.
+
+    Strict inequalities over all-integer, all-integral-coefficient atoms
+    are tightened to non-strict ones (``a < b`` becomes ``a <= b - 1``),
+    the standard preprocessing that keeps branch-and-bound from diving
+    forever on constraints like ``a < b < a + 1``.
+    """
+    compiled = []
+    disequalities = []
+    for atom in atoms:
+        left = linearize(atom.left)
+        right = linearize(atom.right)
+        difference = left - right
+        coefficients = dict(difference.coefficients)
+        constant = -difference.constant  # move constant to the RHS
+        relation = {LE: "<=", LT: "<", GE: ">=", GT: ">", EQ: "=", NE: "!="}[
+            atom.relation
+        ]
+        if relation in ("<", ">") and _is_integral(coefficients, constant, integer_names):
+            if relation == "<":
+                relation, constant = "<=", constant - 1
+            else:
+                relation, constant = ">=", constant + 1
+        if relation == "!=":
+            disequalities.append((coefficients, constant))
+        else:
+            compiled.append(_LinearAtom(coefficients, relation, constant))
+    return compiled, disequalities
+
+
+def _is_integral(coefficients, constant, integer_names):
+    return (
+        all(name in integer_names for name in coefficients)
+        and all(Fraction(c).denominator == 1 for c in coefficients.values())
+        and Fraction(constant).denominator == 1
+    )
+
+
+class LiaSolver:
+    """Branch-and-bound LIA solver for conjunctions of literals."""
+
+    def __init__(self, literals, declarations):
+        self.literals = list(literals)
+        self.declarations = dict(declarations)
+        atoms, residual = literals_to_atoms(self.literals)
+        if residual:
+            raise UnsupportedLogicError(
+                f"LIA conjunction solver got non-arithmetic literals: {residual[:3]}"
+            )
+        self.integer_names = sorted(
+            name for name, sort in self.declarations.items() if sort is INT
+        )
+        self.base_atoms, self.disequalities = _compile_atoms(
+            atoms, set(self.integer_names)
+        )
+        self.work = 0
+
+    def _relaxation(self, extra_bounds, budget):
+        """Solve the LRA relaxation with the given branching bounds."""
+        simplex = Simplex(
+            work_budget=None if budget is None else max(1, budget - self.work)
+        )
+        try:
+            for atom in self.base_atoms:
+                if not atom.coefficients:
+                    # Ground atom: evaluate directly.
+                    value = Fraction(0)
+                    satisfied = {
+                        "<=": value <= atom.constant,
+                        "<": value < atom.constant,
+                        ">=": value >= atom.constant,
+                        ">": value > atom.constant,
+                        "=": value == atom.constant,
+                    }[atom.relation]
+                    if not satisfied:
+                        return None
+                    continue
+                simplex.assert_constraint(atom.coefficients, atom.relation, atom.constant)
+            for name, relation, bound in extra_bounds:
+                # Branching entries are single variables; disequality splits
+                # carry a full coefficient dict.
+                coefficients = name if isinstance(name, dict) else {name: 1}
+                simplex.assert_constraint(coefficients, relation, bound)
+        except SimplexConflict:
+            self.work += simplex.pivots + NODE_OVERHEAD
+            return None
+        feasible = simplex.check()
+        self.work += simplex.pivots + NODE_OVERHEAD
+        if not feasible:
+            return None
+        return simplex.model()
+
+    def _check_point(self, assignment):
+        self.work += sum(literal.size() for literal in self.literals)
+        return all(evaluate(literal, assignment) for literal in self.literals)
+
+    def _gcd_infeasible(self):
+        """Divisibility cut: ``sum c_i * x_i = b`` over integers is unsat
+        when gcd(c_i) does not divide b (standard LIA preprocessing)."""
+        from math import gcd
+
+        for atom in self.base_atoms:
+            if atom.relation != "=" or not atom.coefficients:
+                continue
+            if any(name not in self.integer_names for name in atom.coefficients):
+                continue
+            denominators = [Fraction(c).denominator for c in atom.coefficients.values()]
+            denominators.append(Fraction(atom.constant).denominator)
+            scale = 1
+            for denominator in denominators:
+                scale = scale * denominator // gcd(scale, denominator)
+            coefficients = [int(Fraction(c) * scale) for c in atom.coefficients.values()]
+            constant = Fraction(atom.constant) * scale
+            divisor = 0
+            for coefficient in coefficients:
+                divisor = gcd(divisor, coefficient)
+            if divisor and int(constant) % divisor != 0:
+                return True
+        return False
+
+    def solve(self, budget=None):
+        """Decide the conjunction; returns an :class:`ArithResult`."""
+        if self._gcd_infeasible():
+            return ArithResult("unsat", None, self.work + len(self.base_atoms))
+        stack = [()]  # each entry: tuple of (name, relation, bound) branches
+        depth_capped = False
+        try:
+            while stack:
+                if budget is not None and self.work > budget:
+                    return ArithResult("unknown", None, self.work)
+                extra = stack.pop()
+                if len(extra) > MAX_BRANCH_DEPTH:
+                    depth_capped = True
+                    continue
+                model = self._relaxation(extra, budget)
+                if model is None:
+                    continue
+                fractional = None
+                for name in self.integer_names:
+                    value = model.get(name, Fraction(0))
+                    if value.denominator != 1:
+                        fractional = (name, value)
+                        break
+                if fractional is None:
+                    candidate = {
+                        name: int(model.get(name, Fraction(0)))
+                        for name in self.integer_names
+                    }
+                    # Give non-integer (hybrid) variables their values too.
+                    for name, value in model.items():
+                        if name not in candidate:
+                            candidate[name] = value
+                    if self._check_point(candidate):
+                        return ArithResult("sat", candidate, self.work)
+                    # A disequality or strictness nuance failed: exclude via
+                    # branching on the first violated disequality.
+                    branched = self._branch_disequality(candidate, extra, stack)
+                    if not branched:
+                        return ArithResult("unknown", None, self.work)
+                    continue
+                name, value = fractional
+                floor = value.numerator // value.denominator
+                stack.append(extra + ((name, "<=", Fraction(floor)),))
+                stack.append(extra + ((name, ">=", Fraction(floor + 1)),))
+        except BudgetExceeded:
+            return ArithResult("unknown", None, self.work)
+        if depth_capped:
+            # Some branches were abandoned; exhausting the rest proves nothing.
+            return ArithResult("unknown", None, self.work)
+        return ArithResult("unsat", None, self.work)
+
+    def _branch_disequality(self, candidate, extra, stack):
+        """Split on a violated ``!=`` atom; True if a split was added."""
+        for coefficients, constant in self.disequalities:
+            value = sum(
+                Fraction(c) * Fraction(candidate.get(name, 0))
+                for name, c in coefficients.items()
+            )
+            if value == constant:
+                # lhs must be < or > the constant; explore both half-spaces.
+                stack.append(extra + ((coefficients, "<", constant),))
+                stack.append(extra + ((coefficients, ">", constant),))
+                return True
+        return False
+
+
+def solve_lia_conjunction(literals, declarations, budget=None):
+    """Convenience wrapper around :class:`LiaSolver`."""
+    return LiaSolver(literals, declarations).solve(budget)

@@ -1,0 +1,135 @@
+"""Extraction of linear forms from arithmetic terms.
+
+A :class:`LinearExpr` is ``constant + sum(coefficient * variable)`` with
+exact :class:`~fractions.Fraction` coefficients. :func:`linearize` turns a
+term into one, raising :class:`NonlinearTermError` when the term is
+genuinely nonlinear -- the signal the solver façade uses to route a
+constraint to the NIA/NRA engines instead.
+"""
+
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.smtlib.terms import Op
+
+
+class NonlinearTermError(ReproError):
+    """The term has no linear form (variable products, division, ...)."""
+
+
+class LinearExpr:
+    """An affine expression: ``constant + sum coeffs[v] * v``."""
+
+    __slots__ = ("constant", "coefficients")
+
+    def __init__(self, constant=0, coefficients=None):
+        self.constant = Fraction(constant)
+        self.coefficients = dict(coefficients or {})
+
+    @classmethod
+    def variable(cls, name):
+        return cls(0, {name: Fraction(1)})
+
+    def __add__(self, other):
+        if isinstance(other, LinearExpr):
+            coefficients = dict(self.coefficients)
+            for name, coefficient in other.coefficients.items():
+                updated = coefficients.get(name, Fraction(0)) + coefficient
+                if updated:
+                    coefficients[name] = updated
+                else:
+                    coefficients.pop(name, None)
+            return LinearExpr(self.constant + other.constant, coefficients)
+        return LinearExpr(self.constant + Fraction(other), self.coefficients)
+
+    def __sub__(self, other):
+        return self + (other * -1 if isinstance(other, LinearExpr) else -Fraction(other))
+
+    def __mul__(self, scalar):
+        scalar = Fraction(scalar)
+        if scalar == 0:
+            return LinearExpr(0)
+        return LinearExpr(
+            self.constant * scalar,
+            {name: c * scalar for name, c in self.coefficients.items()},
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1
+
+    @property
+    def is_constant(self):
+        return not self.coefficients
+
+    def evaluate(self, assignment):
+        """Exact value under a name -> number mapping."""
+        total = self.constant
+        for name, coefficient in self.coefficients.items():
+            total += coefficient * Fraction(assignment[name])
+        return total
+
+    def __repr__(self):
+        parts = [str(self.constant)] if self.constant or not self.coefficients else []
+        for name, coefficient in sorted(self.coefficients.items()):
+            parts.append(f"{coefficient}*{name}")
+        return " + ".join(parts)
+
+
+def linearize(term):
+    """Convert an Int/Real term into a :class:`LinearExpr`.
+
+    Multiplication is linear only when at most one factor mentions a
+    variable; division only by a non-zero constant. ``ite``, ``abs``,
+    ``div``/``mod`` and variable division raise
+    :class:`NonlinearTermError`.
+    """
+    memo = {}
+    for sub in term.subterms():
+        memo[sub.tid] = _linearize_node(sub, [memo[a.tid] for a in sub.args])
+    return memo[term.tid]
+
+
+def _linearize_node(term, args):
+    op = term.op
+    if op is Op.CONST:
+        return LinearExpr(term.value)
+    if op is Op.VAR:
+        return LinearExpr.variable(term.name)
+    if op is Op.ADD:
+        result = args[0]
+        for arg in args[1:]:
+            result = result + arg
+        return result
+    if op is Op.SUB:
+        result = args[0]
+        for arg in args[1:]:
+            result = result - arg
+        return result
+    if op is Op.NEG:
+        return -args[0]
+    if op is Op.TO_REAL:
+        return args[0]
+    if op is Op.MUL:
+        result = LinearExpr(1)
+        constant_product = Fraction(1)
+        linear_part = None
+        for arg in args:
+            if arg.is_constant:
+                constant_product *= arg.constant
+            elif linear_part is None:
+                linear_part = arg
+            else:
+                raise NonlinearTermError(f"product of variables in {term!r}")
+        if linear_part is None:
+            return LinearExpr(constant_product)
+        return linear_part * constant_product
+    if op is Op.RDIV:
+        numerator, denominator = args
+        if not denominator.is_constant:
+            raise NonlinearTermError(f"division by a variable in {term!r}")
+        if denominator.constant == 0:
+            raise NonlinearTermError("division by literal zero")
+        return numerator * (Fraction(1) / denominator.constant)
+    raise NonlinearTermError(f"operator {op} has no linear form")

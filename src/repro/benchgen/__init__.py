@@ -1,0 +1,42 @@
+"""Seeded benchmark generators per SMT-LIB logic.
+
+These stand in for the SMT-LIB benchmark repository (unavailable offline;
+see DESIGN.md). Each generator reproduces the *shape* of a real family --
+the constant magnitudes, nonlinearity depth, satisfiable-witness widths
+and unsat fractions that drive the paper's tables -- at a reduced count.
+
+All generators are deterministic in their seed.
+"""
+
+from repro.benchgen.base import Benchmark, Suite
+from repro.benchgen.nia import nia_suite
+from repro.benchgen.lia import lia_suite
+from repro.benchgen.nra import nra_suite
+from repro.benchgen.lra import lra_suite
+
+_SUITES = {
+    "QF_NIA": nia_suite,
+    "QF_LIA": lia_suite,
+    "QF_NRA": nra_suite,
+    "QF_LRA": lra_suite,
+}
+
+
+def suite_for(logic, seed=2024, scale=1.0):
+    """Build the benchmark suite for a logic.
+
+    Args:
+        logic: one of QF_NIA / QF_LIA / QF_NRA / QF_LRA.
+        seed: RNG seed; same seed -> identical suite.
+        scale: size multiplier (1.0 = the default suite size).
+
+    Returns:
+        A :class:`Suite`.
+    """
+    builder = _SUITES.get(logic)
+    if builder is None:
+        raise ValueError(f"no benchmark suite for logic {logic!r}")
+    return builder(seed=seed, scale=scale)
+
+
+__all__ = ["Benchmark", "Suite", "suite_for", "nia_suite", "lia_suite", "nra_suite", "lra_suite"]

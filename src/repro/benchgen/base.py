@@ -1,0 +1,61 @@
+"""Common benchmark-suite machinery."""
+
+import random
+
+
+class Benchmark:
+    """One generated constraint.
+
+    Attributes:
+        name: unique identifier within the suite.
+        family: generator family (mirrors SMT-LIB directory families).
+        script: the :class:`~repro.smtlib.script.Script`.
+        expected: ``"sat"``, ``"unsat"``, or None when the generator does
+            not know (used by tests to cross-check solver answers).
+        planted_model: a known satisfying assignment, when one was planted.
+    """
+
+    __slots__ = ("name", "family", "script", "expected", "planted_model")
+
+    def __init__(self, name, family, script, expected=None, planted_model=None):
+        self.name = name
+        self.family = family
+        self.script = script
+        self.expected = expected
+        self.planted_model = planted_model
+
+    def __repr__(self):
+        return f"Benchmark({self.name}, {self.family}, expected={self.expected})"
+
+
+class Suite:
+    """A named list of benchmarks for one logic."""
+
+    def __init__(self, logic, benchmarks):
+        self.logic = logic
+        self.benchmarks = list(benchmarks)
+
+    def __iter__(self):
+        return iter(self.benchmarks)
+
+    def __len__(self):
+        return len(self.benchmarks)
+
+    def by_family(self):
+        families = {}
+        for benchmark in self.benchmarks:
+            families.setdefault(benchmark.family, []).append(benchmark)
+        return families
+
+    def __repr__(self):
+        return f"Suite({self.logic}, {len(self.benchmarks)} benchmarks)"
+
+
+def make_rng(seed, salt):
+    """A deterministic per-family RNG."""
+    return random.Random(f"{seed}:{salt}")
+
+
+def scaled(count, scale):
+    """Scale a family size, keeping at least one instance."""
+    return max(1, round(count * scale))

@@ -1,0 +1,226 @@
+"""QF_LIA workload generator.
+
+Families:
+
+- ``cav2009``: random linear systems with planted integer witnesses (and
+  an unsat twin built by adding a contradictory pair). The simplex
+  baseline is fast here, so theory arbitrage rarely helps -- matching the
+  paper's near-1.0 overall LIA speedups.
+- ``coin``: Frobenius/coin-problem instances ``a*x + b*y = t`` with
+  coprime ``a, b`` and bounds. Satisfiable ones have planted witnesses;
+  unsatisfiable ones pick ``t`` outside the reachable set. Branch and
+  bound can thrash on these windows, which is where STAUB's verified LIA
+  speedups come from (Table 3's small-but-real LIA wins).
+- ``window``: equalities under tight inequality windows with a mix of
+  feasible and empty windows.
+"""
+
+from repro.benchgen.base import Benchmark, Suite, make_rng, scaled
+from repro.smtlib import build
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.smtlib.script import Script
+
+
+def _linear_sum(variables, coefficients):
+    terms = []
+    for variable, coefficient in zip(variables, coefficients):
+        if coefficient == 0:
+            continue
+        if coefficient == 1:
+            terms.append(variable)
+        else:
+            terms.append(build.Mul(build.IntConst(coefficient), variable))
+    if not terms:
+        return build.IntConst(0)
+    if len(terms) == 1:
+        return terms[0]
+    return build.Add(*terms)
+
+
+def _cav2009_family(rng, count):
+    benchmarks = []
+    for index in range(count):
+        num_vars = rng.randint(3, 6)
+        num_constraints = rng.randint(4, 10)
+        names = [f"x{i}" for i in range(num_vars)]
+        variables = [build.IntVar(name) for name in names]
+        witness = {name: rng.randint(-30, 30) for name in names}
+        assertions = []
+        for _ in range(num_constraints):
+            coefficients = [rng.randint(-9, 9) for _ in range(num_vars)]
+            if not any(coefficients):
+                coefficients[rng.randrange(num_vars)] = 1
+            value = sum(c * witness[name] for c, name in zip(coefficients, names))
+            relation = rng.choice(("<=", ">=", "="))
+            lhs = _linear_sum(variables, coefficients)
+            if relation == "<=":
+                assertions.append(build.Le(lhs, build.IntConst(value + rng.randint(0, 20))))
+            elif relation == ">=":
+                assertions.append(build.Ge(lhs, build.IntConst(value - rng.randint(0, 20))))
+            else:
+                assertions.append(build.Eq(lhs, build.IntConst(value)))
+        expected = "sat"
+        if index % 3 == 2:
+            # Unsat twin: contradictory pair on a fresh combination.
+            coefficients = [rng.randint(1, 5) for _ in range(num_vars)]
+            lhs = _linear_sum(variables, coefficients)
+            pivot = rng.randint(-50, 50)
+            assertions.append(build.Ge(lhs, build.IntConst(pivot + 1)))
+            assertions.append(build.Le(lhs, build.IntConst(pivot)))
+            expected = "unsat"
+            witness = None
+        else:
+            if not evaluate_assertions(assertions, witness):
+                raise AssertionError(f"generator bug: cav2009-{index}")
+        script = Script.from_assertions(assertions, logic="QF_LIA")
+        benchmarks.append(
+            Benchmark(f"cav2009-{index:02d}", "cav2009", script, expected, witness)
+        )
+    return benchmarks
+
+
+def _coin_family(rng, count):
+    """Coin-problem equalities: hard for branch-and-bound windows."""
+    coprime_pairs = [(7, 11), (9, 13), (11, 17), (13, 19), (17, 23)]
+    benchmarks = []
+    for index in range(count):
+        a, b = coprime_pairs[index % len(coprime_pairs)]
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        sat_case = index % 2 == 0
+        if sat_case:
+            wx = rng.randint(3, 60)
+            wy = rng.randint(3, 60)
+            target = a * wx + b * wy
+            witness = {"x": wx, "y": wy}
+            expected = "sat"
+        else:
+            # The Frobenius number a*b - a - b is the largest value the
+            # coin system cannot reach with non-negative coefficients.
+            target = a * b - a - b
+            witness = None
+            expected = "unsat"
+        assertions = [
+            build.Eq(
+                build.Add(
+                    build.Mul(build.IntConst(a), x), build.Mul(build.IntConst(b), y)
+                ),
+                build.IntConst(target),
+            ),
+            build.Ge(x, build.IntConst(0)),
+            build.Ge(y, build.IntConst(0)),
+        ]
+        if witness is not None and not evaluate_assertions(assertions, witness):
+            raise AssertionError(f"generator bug: coin-{index}")
+        script = Script.from_assertions(assertions, logic="QF_LIA")
+        benchmarks.append(Benchmark(f"coin-{index:02d}", "coin", script, expected, witness))
+    return benchmarks
+
+
+def _window_family(rng, count):
+    benchmarks = []
+    for index in range(count):
+        num_vars = rng.randint(2, 4)
+        names = [f"w{i}" for i in range(num_vars)]
+        variables = [build.IntVar(name) for name in names]
+        witness = {name: rng.randint(1, 40) for name in names}
+        coefficients = [rng.randint(2, 7) for _ in range(num_vars)]
+        total = sum(c * witness[name] for c, name in zip(coefficients, names))
+        sat_case = index % 3 != 1
+        # Unsat targets sit strictly above the window's reachable maximum
+        # (each variable is at most witness + 6).
+        target = total if sat_case else total + 6 * sum(coefficients) + 1
+        assertions = [
+            build.Eq(_linear_sum(variables, coefficients), build.IntConst(target))
+        ]
+        for name, variable in zip(names, variables):
+            low = witness[name] - rng.randint(0, 6)
+            high = witness[name] + rng.randint(0, 6)
+            assertions.append(build.Ge(variable, build.IntConst(low)))
+            assertions.append(build.Le(variable, build.IntConst(high)))
+        expected = "sat" if sat_case else "unsat"
+        if sat_case:
+            if not evaluate_assertions(assertions, witness):
+                raise AssertionError(f"generator bug: window-{index}")
+        else:
+            witness = None
+        script = Script.from_assertions(assertions, logic="QF_LIA")
+        benchmarks.append(
+            Benchmark(f"window-{index:02d}", "window", script, expected, witness)
+        )
+    return benchmarks
+
+
+def _cnf_family(rng, count):
+    """Disjunction-heavy LIA (the lazy-DPLL(T) stress family).
+
+    Each instance is one tight equality plus many two-sided window
+    disjunctions. The lazy baseline must refute boolean assignments one
+    blocking clause at a time -- exponential in the number of
+    disjunctions -- while the bit-blasted translation decides the whole
+    boolean-arithmetic product space inside a single CNF. These are the
+    LIA tractability improvements of Table 2.
+    """
+    benchmarks = []
+    for index in range(count):
+        names = ["x0", "x1", "x2"]
+        variables = [build.IntVar(name) for name in names]
+        coefficients = [3, 5, 7]
+        witness = {name: rng.randint(25, 95) for name in names}
+        target = sum(c * witness[name] for c, name in zip(coefficients, names))
+        assertions = [
+            build.Eq(_linear_sum(variables, coefficients), build.IntConst(target))
+        ]
+        for variable in variables:
+            assertions.append(build.Ge(variable, build.IntConst(0)))
+        sat_case = index % 4 != 3
+        num_disjunctions = rng.randint(8, 11)
+        for _ in range(num_disjunctions):
+            position = rng.randrange(len(names))
+            value = witness[names[position]]
+            # One disjunct holds for the witness; the other opens a
+            # spurious window elsewhere that the search must refute.
+            if rng.random() < 0.5:
+                holds = build.Ge(variables[position], build.IntConst(value - rng.randint(0, 4)))
+                spurious = build.Le(variables[position], build.IntConst(rng.randint(0, 10)))
+            else:
+                holds = build.Le(variables[position], build.IntConst(value + rng.randint(0, 4)))
+                spurious = build.Ge(
+                    variables[position], build.IntConst(value + rng.randint(30, 60))
+                )
+            assertions.append(build.Or(spurious, holds))
+        expected = "sat"
+        if not sat_case:
+            # Pin one variable away from every witness-satisfying window.
+            assertions.append(
+                build.Eq(variables[0], build.IntConst(witness[names[0]] + 13))
+            )
+            # Re-pin the equality so the instance is genuinely unsat: the
+            # shifted x0 breaks the equality for every (x1, x2) choice in
+            # the remaining windows only if the target parity cannot
+            # absorb it; enforce directly with a second equality.
+            assertions.append(
+                build.Eq(
+                    _linear_sum(variables, coefficients),
+                    build.IntConst(target + 1),
+                )
+            )
+            expected = "unsat"
+            witness = None
+        else:
+            if not evaluate_assertions(assertions, witness):
+                raise AssertionError(f"generator bug: cnf-{index}")
+        script = Script.from_assertions(assertions, logic="QF_LIA")
+        benchmarks.append(Benchmark(f"cnf-{index:02d}", "cnf", script, expected, witness))
+    return benchmarks
+
+
+def lia_suite(seed=2024, scale=1.0):
+    """The QF_LIA suite (40 constraints at scale 1.0)."""
+    rng = make_rng(seed, "lia")
+    benchmarks = []
+    benchmarks += _cav2009_family(rng, scaled(16, scale))
+    benchmarks += _coin_family(rng, scaled(10, scale))
+    benchmarks += _window_family(rng, scaled(8, scale))
+    benchmarks += _cnf_family(rng, scaled(8, scale))
+    return Suite("QF_LIA", benchmarks)

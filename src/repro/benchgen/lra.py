@@ -1,0 +1,105 @@
+"""QF_LRA workload generator.
+
+The paper finds theory arbitrage gives *no* improvements on QF_LRA: the
+simplex baseline is fast, initial solving times are small, and decimal
+constants create semantic differences that defeat verification. The
+families below reproduce those conditions:
+
+- ``decimal-systems``: random feasible/infeasible linear systems whose
+  constants are decimals like 0.1 that have no finite binary expansion,
+  so the fixed-point transformation is inexact from the start.
+- ``dyadic-systems``: systems with binary-friendly constants; these are
+  representable, but the baseline already solves them quickly, so the
+  portfolio still shows no net gain -- the paper's explanation for the
+  all-1.000 LRA rows.
+"""
+
+from fractions import Fraction
+
+from repro.benchgen.base import Benchmark, Suite, make_rng, scaled
+from repro.smtlib import build
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.smtlib.script import Script
+
+
+def _linear_sum(variables, coefficients):
+    terms = []
+    for variable, coefficient in zip(variables, coefficients):
+        if coefficient == 0:
+            continue
+        term = (
+            variable
+            if coefficient == 1
+            else build.Mul(build.RealConst(coefficient), variable)
+        )
+        terms.append(term)
+    if not terms:
+        return build.RealConst(0)
+    if len(terms) == 1:
+        return terms[0]
+    return build.Add(*terms)
+
+
+def _system_family(rng, count, family, constant_pool, witness_pool):
+    benchmarks = []
+    for index in range(count):
+        num_vars = rng.randint(2, 5)
+        num_constraints = rng.randint(3, 8)
+        names = [f"r{i}" for i in range(num_vars)]
+        variables = [build.RealVar(name) for name in names]
+        witness = {name: rng.choice(witness_pool) for name in names}
+        assertions = []
+        for _ in range(num_constraints):
+            coefficients = [rng.choice(constant_pool) for _ in range(num_vars)]
+            if not any(coefficients):
+                coefficients[rng.randrange(num_vars)] = Fraction(1)
+            value = sum(
+                Fraction(c) * witness[name] for c, name in zip(coefficients, names)
+            )
+            relation = rng.choice(("<=", ">=", "<", ">"))
+            lhs = _linear_sum(variables, coefficients)
+            slack = Fraction(rng.randint(1, 40), 10)
+            if relation == "<=":
+                assertions.append(build.Le(lhs, build.RealConst(value + slack)))
+            elif relation == ">=":
+                assertions.append(build.Ge(lhs, build.RealConst(value - slack)))
+            elif relation == "<":
+                assertions.append(build.Lt(lhs, build.RealConst(value + slack)))
+            else:
+                assertions.append(build.Gt(lhs, build.RealConst(value - slack)))
+        expected = "sat"
+        if index % 3 == 2:
+            coefficients = [Fraction(rng.randint(1, 5)) for _ in range(num_vars)]
+            lhs = _linear_sum(variables, coefficients)
+            pivot = Fraction(rng.randint(-40, 40), 2)
+            assertions.append(build.Ge(lhs, build.RealConst(pivot + Fraction(1, 10))))
+            assertions.append(build.Le(lhs, build.RealConst(pivot)))
+            expected = "unsat"
+            witness = None
+        else:
+            if not evaluate_assertions(assertions, witness):
+                raise AssertionError(f"generator bug: {family}-{index}")
+        script = Script.from_assertions(assertions, logic="QF_LRA")
+        benchmarks.append(
+            Benchmark(f"{family}-{index:02d}", family, script, expected, witness)
+        )
+    return benchmarks
+
+
+def lra_suite(seed=2024, scale=1.0):
+    """The QF_LRA suite (30 constraints at scale 1.0)."""
+    rng = make_rng(seed, "lra")
+    decimal_pool = [Fraction(n, 10) for n in range(-30, 31) if n % 10 != 0] + [
+        Fraction(n) for n in range(-4, 5)
+    ]
+    decimal_witness = [Fraction(n, 10) for n in range(-50, 51)]
+    dyadic_pool = [Fraction(n, 4) for n in range(-12, 13)]
+    dyadic_witness = [Fraction(n, 8) for n in range(-40, 41)]
+    benchmarks = []
+    benchmarks += _system_family(
+        rng, scaled(18, scale), "decimal-systems", decimal_pool, decimal_witness
+    )
+    benchmarks += _system_family(
+        rng, scaled(12, scale), "dyadic-systems", dyadic_pool, dyadic_witness
+    )
+    return Suite("QF_LRA", benchmarks)

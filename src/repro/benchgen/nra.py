@@ -1,0 +1,159 @@
+"""QF_NRA workload generator.
+
+The paper's QF_NRA results: a small number of large verified speedups
+(especially under the CVC5-like profile), most constraints unaffected
+because initial solving times are short or semantic differences defeat
+verification. Families:
+
+- ``dyadic-poly``: univariate/bivariate polynomial equalities whose roots
+  are planted dyadic rationals (k / 2^p) -- representable exactly in the
+  fixed-point target, so these are the verifiable wins.
+- ``coupled``: product/sum systems with dyadic witnesses; interval
+  contraction converges slowly on these, giving the baseline long solve
+  times.
+- ``irrational``: equalities whose only solutions are irrational
+  (x^2 = 2 and friends). Satisfiable over the reals, but no finite
+  witness exists for either engine -- baseline and arbitrage both fail,
+  the "unknown" residue of the NRA rows.
+- ``decimal-poly``: equalities with base-10 constants whose solutions are
+  non-dyadic; the ICP baseline can recover them as simplest rationals
+  while the fixed-point image is inexact (semantic-difference cases).
+"""
+
+from fractions import Fraction
+
+from repro.benchgen.base import Benchmark, Suite, make_rng, scaled
+from repro.smtlib import build
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.smtlib.script import Script
+
+
+def _poly_from_roots(variable, roots):
+    """Expanded ``prod (q_i * x - p_i)`` for rational roots p_i / q_i."""
+    factors = []
+    for root in roots:
+        root = Fraction(root)
+        factors.append(
+            build.Sub(
+                build.Mul(build.RealConst(root.denominator), variable),
+                build.RealConst(root.numerator),
+            )
+        )
+    product = factors[0]
+    for factor in factors[1:]:
+        product = build.Mul(product, factor)
+    return product
+
+
+def _dyadic_poly_family(rng, count):
+    benchmarks = []
+    dyadic_values = [Fraction(n, 4) for n in range(-20, 21)]
+    for index in range(count):
+        x = build.RealVar("x")
+        degree = rng.choice((1, 2, 2))
+        roots = rng.sample(dyadic_values, degree)
+        witness_root = rng.choice(roots)
+        assertions = [build.Eq(_poly_from_roots(x, roots), build.RealConst(0))]
+        if rng.random() < 0.5:
+            # Pin to one root with a side constraint to make search work.
+            assertions.append(
+                build.Ge(x, build.RealConst(witness_root - Fraction(1, 8)))
+            )
+            assertions.append(
+                build.Le(x, build.RealConst(witness_root + Fraction(1, 8)))
+            )
+        witness = {"x": witness_root}
+        if not evaluate_assertions(assertions, witness):
+            raise AssertionError(f"generator bug: dyadic-poly-{index}")
+        script = Script.from_assertions(assertions, logic="QF_NRA")
+        benchmarks.append(
+            Benchmark(
+                f"dyadic-poly-{index:02d}", "dyadic-poly", script, "sat", witness
+            )
+        )
+    return benchmarks
+
+
+def _coupled_family(rng, count):
+    benchmarks = []
+    for index in range(count):
+        x = build.RealVar("x")
+        y = build.RealVar("y")
+        wx = Fraction(rng.randint(2, 40), rng.choice((1, 2, 4)))
+        wy = Fraction(rng.randint(2, 40), rng.choice((1, 2, 4)))
+        witness = {"x": wx, "y": wy}
+        product = wx * wy
+        total = wx + wy
+        assertions = [
+            build.Eq(build.Mul(x, y), build.RealConst(product)),
+            build.Eq(build.Add(x, y), build.RealConst(total)),
+            build.Ge(x, build.RealConst(0)),
+            build.Ge(y, build.RealConst(0)),
+        ]
+        if not evaluate_assertions(assertions, witness):
+            raise AssertionError(f"generator bug: coupled-{index}")
+        script = Script.from_assertions(assertions, logic="QF_NRA")
+        benchmarks.append(
+            Benchmark(f"coupled-{index:02d}", "coupled", script, "sat", witness)
+        )
+    return benchmarks
+
+
+def _irrational_family(rng, count):
+    benchmarks = []
+    for index in range(count):
+        x = build.RealVar("x")
+        # x*x = d where d is not a rational square: sat over R, but no
+        # exact rational witness exists for any engine here.
+        non_squares = (2, 3, 5, 6, 7, 8, 10, 11, 12, 13)
+        d = non_squares[index % len(non_squares)]
+        assertions = [
+            build.Eq(build.Mul(x, x), build.RealConst(d)),
+            build.Ge(x, build.RealConst(0)),
+        ]
+        script = Script.from_assertions(assertions, logic="QF_NRA")
+        benchmarks.append(
+            Benchmark(
+                f"irrational-{index:02d}", "irrational", script, None, None
+            )
+        )
+    return benchmarks
+
+
+def _decimal_poly_family(rng, count):
+    benchmarks = []
+    for index in range(count):
+        x = build.RealVar("x")
+        # Root at a tenth (e.g. 0.3): no finite binary expansion.
+        numerator = rng.choice([n for n in range(-29, 30) if n % 10 not in (0, 5)])
+        root = Fraction(numerator, 10)
+        assertions = [
+            build.Eq(
+                build.Sub(
+                    build.Mul(build.RealConst(10), x), build.RealConst(numerator)
+                ),
+                build.RealConst(0),
+            ),
+            build.Ge(build.Mul(x, x), build.RealConst(0)),
+        ]
+        witness = {"x": root}
+        if not evaluate_assertions(assertions, witness):
+            raise AssertionError(f"generator bug: decimal-poly-{index}")
+        script = Script.from_assertions(assertions, logic="QF_NRA")
+        benchmarks.append(
+            Benchmark(
+                f"decimal-poly-{index:02d}", "decimal-poly", script, "sat", witness
+            )
+        )
+    return benchmarks
+
+
+def nra_suite(seed=2024, scale=1.0):
+    """The QF_NRA suite (36 constraints at scale 1.0)."""
+    rng = make_rng(seed, "nra")
+    benchmarks = []
+    benchmarks += _dyadic_poly_family(rng, scaled(12, scale))
+    benchmarks += _coupled_family(rng, scaled(8, scale))
+    benchmarks += _irrational_family(rng, scaled(8, scale))
+    benchmarks += _decimal_poly_family(rng, scaled(8, scale))
+    return Suite("QF_NRA", benchmarks)

@@ -1,0 +1,13 @@
+"""Bitvector solving by bit-blasting to CNF.
+
+- :mod:`repro.bv.bitblast` -- Tseitin-encodes the full supported QF_BV
+  operator set (arithmetic, division, shifts, comparisons, overflow
+  predicates) into CNF over the CDCL core.
+- :mod:`repro.bv.solver` -- the end-to-end QF_BV/QF_FP-fixed-point solver:
+  blast, solve, reconstruct a model of :class:`~repro.smtlib.values.BVValue`.
+"""
+
+from repro.bv.bitblast import BitBlaster
+from repro.bv.solver import solve_bounded_script
+
+__all__ = ["BitBlaster", "solve_bounded_script"]

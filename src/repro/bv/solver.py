@@ -1,0 +1,104 @@
+"""End-to-end bounded-constraint solving: blast, solve, reconstruct.
+
+This is the "cheap side" of the theory arbitrage: a bounded script (Bool
+and bitvector variables) is bit-blasted into CNF and handed to the CDCL
+core. Statistics and the deterministic work counter flow back out so the
+evaluation harness can measure T_post reproducibly.
+"""
+
+from repro.errors import UnsupportedLogicError
+from repro.bv.bitblast import BitBlaster
+from repro.sat.solver import SAT, SatSolver
+
+
+class BoundedResult:
+    """Outcome of solving a bounded script.
+
+    Attributes:
+        status: ``"sat"``, ``"unsat"``, or ``"unknown"``.
+        model: name -> value dict (BVValue / bool) when sat, else None.
+        work: deterministic work units spent (SAT search + blast size).
+        stats: raw :class:`~repro.sat.solver.SatStats`.
+        cnf_vars / cnf_clauses: size of the blasted CNF.
+    """
+
+    def __init__(self, status, model, work, stats, cnf_vars, cnf_clauses):
+        self.status = status
+        self.model = model
+        self.work = work
+        self.stats = stats
+        self.cnf_vars = cnf_vars
+        self.cnf_clauses = cnf_clauses
+
+    def __repr__(self):
+        return f"BoundedResult({self.status}, work={self.work})"
+
+
+#: Work units charged per CNF clause produced by bit-blasting; encoding
+#: cost is part of T_post just as it is inside a real solver.
+BLAST_WORK_PER_CLAUSE = 1
+
+
+def solve_bounded_script(script, max_work=None, max_conflicts=None):
+    """Solve a script whose variables are all Bool or bitvector sorted.
+
+    Args:
+        script: a :class:`~repro.smtlib.script.Script`.
+        max_work: deterministic work budget; exhaustion gives ``unknown``.
+        max_conflicts: optional extra conflict cap.
+
+    Returns:
+        A :class:`BoundedResult`.
+
+    Raises:
+        UnsupportedLogicError: the script has unbounded or FP variables
+            (FP solving goes through the fixed-point encoding instead).
+    """
+    for name, sort in script.declarations.items():
+        if not (sort.is_bool or sort.is_bv):
+            raise UnsupportedLogicError(
+                f"bounded solver cannot handle variable {name} of sort {sort}"
+            )
+
+    blaster = BitBlaster()
+    for assertion in script.assertions:
+        blaster.assert_term(assertion)
+
+    blast_work = BLAST_WORK_PER_CLAUSE * len(blaster.cnf.clauses)
+    sat_budget = None
+    if max_work is not None:
+        sat_budget = max(0, max_work - blast_work)
+
+    solver = SatSolver(blaster.cnf.num_vars)
+    trivially_unsat = False
+    for clause in blaster.cnf.clauses:
+        if not solver.add_clause(clause):
+            trivially_unsat = True
+            break
+
+    if trivially_unsat:
+        return BoundedResult(
+            "unsat",
+            None,
+            blast_work + solver.stats.work(),
+            solver.stats,
+            blaster.cnf.num_vars,
+            len(blaster.cnf.clauses),
+        )
+
+    status = solver.solve(max_conflicts=max_conflicts, max_work=sat_budget)
+    model = None
+    if status == SAT:
+        sat_model = solver.model()
+        model = {
+            name: blaster.extract_value(name, sort, sat_model)
+            for name, sort in script.declarations.items()
+        }
+    return BoundedResult(
+        status,
+        model,
+        blast_work + solver.stats.work(),
+        solver.stats,
+        blaster.cnf.num_vars,
+        len(blaster.cnf.clauses),
+    )

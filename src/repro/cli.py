@@ -1,0 +1,171 @@
+"""The ``staub`` command-line tool.
+
+Mirrors the paper's tool surface:
+
+- ``staub transform FILE``: print the bounded SMT-LIB translation (the
+  paper's output flag for use with external solvers), with ``--width``
+  overriding the abstract-interpretation choice.
+- ``staub solve FILE``: solve the constraint directly with the native
+  solver stack (``--profile zorro|corvus``).
+- ``staub arbitrage FILE``: run the full underapproximate-then-verify
+  pipeline and report the Fig. 6 case, stage costs, and the model.
+- ``staub analyze FILE``: bound inference only (widths report).
+- ``staub optimize FILE``: apply the SLOT-style passes to a bounded
+  constraint and print the result.
+"""
+
+import argparse
+import sys
+
+from repro.core.inference import infer_bounds
+from repro.core.pipeline import Staub
+from repro.errors import ReproError
+from repro.evaluation.runner import TIMEOUT_WORK, to_virtual_seconds
+from repro.slot import optimize_script
+from repro.smtlib import parse_script, print_script
+from repro.solver import solve_script
+
+
+def _read_script(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_script(handle.read())
+
+
+def _format_model(model):
+    if not model:
+        return "  (empty model)"
+    lines = []
+    for name in sorted(model):
+        lines.append(f"  {name} = {model[name]}")
+    return "\n".join(lines)
+
+
+def _cmd_transform(args):
+    script = _read_script(args.file)
+    staub = Staub(width_strategy=args.width if args.width else "absint")
+    transformed, inference, _ = staub.transform(script)
+    print(f"; theory: {inference.theory}, assumption x = {inference.assumption}, "
+          f"[S] = {inference.root}, chosen width = {transformed.width}")
+    print(print_script(transformed.script), end="")
+    return 0
+
+
+def _cmd_solve(args):
+    script = _read_script(args.file)
+    result = solve_script(script, budget=args.budget, profile=args.profile)
+    print(result.status)
+    print(f"; engine={result.engine} work={result.work} "
+          f"(~{to_virtual_seconds(result.work):.2f} virtual seconds)")
+    if result.is_sat:
+        print(_format_model(result.model))
+    return 0
+
+
+def _cmd_arbitrage(args):
+    script = _read_script(args.file)
+    staub = Staub(width_strategy=args.width if args.width else "absint")
+    report = staub.run(script, budget=args.budget)
+    print(f"case: {report.case}")
+    print(
+        f"width: {report.width}  t_trans={report.t_trans} "
+        f"t_post={report.t_post} t_check={report.t_check} "
+        f"total={report.total_work}"
+    )
+    if report.model is not None:
+        print("verified model:")
+        print(_format_model(report.model))
+    elif report.case != "verified-sat":
+        print("reverting to the original constraint (no speedup)")
+    return 0
+
+
+def _cmd_analyze(args):
+    script = _read_script(args.file)
+    inference = infer_bounds(script)
+    print(f"theory: {inference.theory}")
+    print(f"largest constant: {inference.largest_constant}")
+    print(f"variable assumption x: {inference.assumption}")
+    print(f"inferred [S]: {inference.root}")
+    return 0
+
+
+def _cmd_optimize(args):
+    script = _read_script(args.file)
+    optimized, statistics = optimize_script(script)
+    print(f"; pass statistics: {statistics}")
+    print(print_script(optimized), end="")
+    return 0
+
+
+def _cmd_reduce(args):
+    from repro.core.width_reduction import reduce_and_solve
+
+    script = _read_script(args.file)
+    result = reduce_and_solve(script, args.width, budget=args.budget)
+    print(f"case: {result.case} "
+          f"({result.original_width} -> {result.reduced_width} bits, "
+          f"work {result.work})")
+    if result.usable:
+        print("verified model (original width):")
+        print(_format_model(result.model))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="staub",
+        description="SMT theory arbitrage: unbounded -> bounded constraint transformation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    transform = sub.add_parser("transform", help="print the bounded translation")
+    transform.add_argument("file")
+    transform.add_argument("--width", type=int, default=None)
+    transform.set_defaults(func=_cmd_transform)
+
+    solve = sub.add_parser("solve", help="solve with the native solver")
+    solve.add_argument("file")
+    solve.add_argument("--profile", default="zorro", choices=("zorro", "corvus"))
+    solve.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    solve.set_defaults(func=_cmd_solve)
+
+    arbitrage = sub.add_parser("arbitrage", help="run the full STAUB pipeline")
+    arbitrage.add_argument("file")
+    arbitrage.add_argument("--width", type=int, default=None)
+    arbitrage.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    arbitrage.set_defaults(func=_cmd_arbitrage)
+
+    analyze = sub.add_parser("analyze", help="bound inference report")
+    analyze.add_argument("file")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    optimize = sub.add_parser("optimize", help="SLOT-style optimization of a bounded constraint")
+    optimize.add_argument("file")
+    optimize.set_defaults(func=_cmd_optimize)
+
+    reduce = sub.add_parser(
+        "reduce", help="width-reduce an already-bounded constraint (Section 6.4)"
+    )
+    reduce.add_argument("file")
+    reduce.add_argument("--width", type=int, required=True)
+    reduce.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    reduce.set_defaults(func=_cmd_reduce)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

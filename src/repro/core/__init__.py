@@ -1,0 +1,53 @@
+"""STAUB's core: theory arbitrage from unbounded to bounded theories.
+
+The four pipeline stages of Fig. 3 in the paper:
+
+1. *Sort selection* -- :mod:`repro.core.correspondence` (Definition 4.1's
+   sort correspondences for Int -> BitVec and Real -> fixed-point/FP).
+2. *Bound inference* -- :mod:`repro.core.absint` (the width and
+   magnitude/precision abstract domains with their Galois connections)
+   driving :mod:`repro.core.inference`.
+3. *Translation* -- :mod:`repro.core.transform` (operator mapping plus
+   overflow-guard insertion).
+4. *Solve + verify* -- :mod:`repro.core.verify` (exact re-checking of the
+   bounded model against the original constraint) orchestrated by
+   :mod:`repro.core.pipeline` under portfolio semantics (Fig. 6).
+"""
+
+from repro.core.absint import (
+    IntWidthDomain,
+    RealMagnitudePrecisionDomain,
+    MagPrec,
+)
+from repro.core.inference import BoundInference, infer_bounds
+from repro.core.correspondence import (
+    INT_TO_BITVECTOR,
+    REAL_TO_FIXEDPOINT,
+    SortCorrespondence,
+)
+from repro.core.transform import TransformResult, transform_script
+from repro.core.verify import VerifyOutcome, verify_model
+from repro.core.pipeline import ArbitrageReport, Staub
+from repro.core.refinement import RefinementReport, RefinementStaub
+from repro.core.width_reduction import WidthReductionResult, reduce_and_solve
+
+__all__ = [
+    "IntWidthDomain",
+    "RealMagnitudePrecisionDomain",
+    "MagPrec",
+    "BoundInference",
+    "infer_bounds",
+    "INT_TO_BITVECTOR",
+    "REAL_TO_FIXEDPOINT",
+    "SortCorrespondence",
+    "TransformResult",
+    "transform_script",
+    "VerifyOutcome",
+    "verify_model",
+    "ArbitrageReport",
+    "Staub",
+    "RefinementReport",
+    "RefinementStaub",
+    "WidthReductionResult",
+    "reduce_and_solve",
+]

@@ -1,0 +1,281 @@
+"""Abstract domains for bound inference (Section 4.2 of the paper).
+
+Two domains, each forming a Galois connection with its concrete power-set
+domain:
+
+- :class:`IntWidthDomain` -- abstract values are bit widths ``a`` in
+  ``Z+``; ``gamma(a)`` is the set of two's-complement-representable
+  integers ``[-2**(a-1), 2**(a-1) - 1]`` (Equations 1-2, Lemma 4.3).
+- :class:`RealMagnitudePrecisionDomain` -- abstract values are
+  (magnitude, precision) pairs ``(m, p)``; ``gamma((m, p))`` is the set of
+  reals within magnitude ``2**(m-1)`` expressible with ``p`` binary
+  fractional digits (Equations 3-5, Lemma 4.4). ``p`` may be infinite
+  (None).
+
+The abstract transfer functions (Fig. 5) are implemented as methods so
+the inference pass (:mod:`repro.core.inference`) stays a plain syntax
+tree traversal, matching the paper's implementation notes in 4.2.
+"""
+
+from fractions import Fraction
+
+
+def int_width(value):
+    """alpha_i of a single integer: the least two's-complement width.
+
+    The paper's Equation 1 writes this as ceil(log2(max|c|)) + 1; we use
+    the *tight* version (which the Galois-connection proof of Lemma 4.3
+    implicitly needs): the least ``a`` with
+    ``-2**(a-1) <= value <= 2**(a-1) - 1``. The two differ only at the
+    asymmetric boundary values like -1 and exact powers of two.
+    """
+    value = int(value)
+    if value >= 0:
+        return value.bit_length() + 1
+    return (-value - 1).bit_length() + 1
+
+
+def dig(value):
+    """Binary significant digits needed to represent a rational exactly.
+
+    ``dig(c) = min { d : 2**d * c  is an integer }``; returns None
+    (infinity) when the denominator has an odd factor, in which case the
+    value has no finite binary expansion -- decimal constants like 0.1
+    land here and become potential semantic differences.
+    """
+    denominator = Fraction(value).denominator
+    count = 0
+    while denominator % 2 == 0:
+        denominator //= 2
+        count += 1
+    if denominator != 1:
+        return None
+    return count
+
+
+class IntWidthDomain:
+    """Width abstraction for integers (Fig. 5a).
+
+    Abstract values are plain positive ints. The variable assumption
+    ``x`` is supplied at construction, following the paper's practical
+    choice of "width of the largest constant, plus one bit".
+    """
+
+    def __init__(self, variable_assumption):
+        self.variable_assumption = max(2, int(variable_assumption))
+
+    # -- Galois connection (for property tests) ------------------------
+
+    @staticmethod
+    def alpha(values):
+        """Abstraction of a finite set of concrete values."""
+        width = 1
+        for value in values:
+            if isinstance(value, bool):
+                width = max(width, 1)
+            else:
+                width = max(width, int_width(value))
+        return width
+
+    @staticmethod
+    def gamma_contains(width, value):
+        """Membership test for gamma(width) (the set itself is huge)."""
+        if isinstance(value, bool):
+            return True
+        half = 1 << (width - 1)
+        return -half <= value < half
+
+    @staticmethod
+    def gamma_bounds(width):
+        """The interval gamma restricts integers to."""
+        half = 1 << (width - 1)
+        return -half, half - 1
+
+    # -- transfer functions (Fig. 5a) ------------------------------------
+
+    def const(self, value):
+        if isinstance(value, bool):
+            return 1
+        return int_width(value)
+
+    def var(self):
+        return self.variable_assumption
+
+    def add(self, widths):
+        """n-ary +/-: folded binary, one extra bit per fold."""
+        result = widths[0]
+        for width in widths[1:]:
+            result = max(result, width) + 1
+        return result
+
+    def neg(self, width):
+        # -(-2**(w-1)) does not fit in w bits.
+        return width + 1
+
+    def abs(self, width):
+        return width + 1
+
+    def mul(self, widths):
+        return sum(widths)
+
+    def idiv(self, dividend, divisor):
+        # Euclidean quotient magnitude can exceed the dividend's by one
+        # (|-8| / |-1| = 8 needs an extra signed bit).
+        del divisor
+        return dividend + 1
+
+    def mod(self, dividend, divisor):
+        # 0 <= (a mod b) < |b| always fits the divisor's width.
+        del dividend
+        return divisor
+
+    def join(self, widths):
+        """Comparisons, boolean operators, ite: plain maximum."""
+        return max(widths) if widths else 1
+
+
+class MagPrec:
+    """An element of the real domain: (magnitude bits, precision bits).
+
+    ``precision`` is None for infinity. Ordering is the component-wise
+    partial order of Equation 3.
+    """
+
+    __slots__ = ("magnitude", "precision")
+
+    def __init__(self, magnitude, precision):
+        self.magnitude = magnitude
+        self.precision = precision
+
+    def leq(self, other):
+        precision_ok = other.precision is None or (
+            self.precision is not None and self.precision <= other.precision
+        )
+        return self.magnitude <= other.magnitude and precision_ok
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MagPrec)
+            and self.magnitude == other.magnitude
+            and self.precision == other.precision
+        )
+
+    def __hash__(self):
+        return hash((self.magnitude, self.precision))
+
+    def __repr__(self):
+        precision = "oo" if self.precision is None else self.precision
+        return f"MagPrec({self.magnitude}, {precision})"
+
+
+def _magnitude_width(value):
+    """Least m with ``-2**(m-1) <= value <= 2**(m-1) - 1`` (tight)."""
+    value = Fraction(value)
+    if value >= 0:
+        ceiling = -((-value.numerator) // value.denominator)
+        return int(ceiling).bit_length() + 1
+    ceiling = -((value.numerator) // value.denominator)  # ceil(-value)
+    return (int(ceiling) - 1).bit_length() + 1
+
+
+def _precision_add(left, right):
+    if left is None or right is None:
+        return None
+    return left + right
+
+
+def _precision_max(left, right):
+    if left is None or right is None:
+        return None
+    return max(left, right)
+
+
+class RealMagnitudePrecisionDomain:
+    """Magnitude x precision abstraction for reals (Fig. 5b)."""
+
+    def __init__(self, variable_assumption):
+        self.variable_assumption = variable_assumption  # a MagPrec
+
+    # -- Galois connection -------------------------------------------------
+
+    @staticmethod
+    def alpha(values):
+        """Abstraction of a finite set of rationals (and booleans)."""
+        magnitude = 1
+        precision = 0
+        for value in values:
+            if isinstance(value, bool):
+                continue
+            value = Fraction(value)
+            magnitude = max(magnitude, _magnitude_width(value))
+            digits = dig(value)
+            precision = None if (precision is None or digits is None) else max(
+                precision, digits
+            )
+        return MagPrec(magnitude, precision)
+
+    @staticmethod
+    def gamma_contains(element, value):
+        if isinstance(value, bool):
+            return True
+        value = Fraction(value)
+        half = Fraction(1 << (element.magnitude - 1))
+        if not (-half <= value <= half - 1):
+            return False
+        if element.precision is None:
+            return True
+        return (value * (1 << element.precision)).denominator == 1
+
+    # -- transfer functions (Fig. 5b) ---------------------------------------
+
+    def const(self, value):
+        if isinstance(value, bool):
+            return MagPrec(1, 0)
+        return type(self).alpha([value])
+
+    def var(self):
+        return self.variable_assumption
+
+    def add(self, elements):
+        result = elements[0]
+        for element in elements[1:]:
+            result = MagPrec(
+                max(result.magnitude, element.magnitude) + 1,
+                _precision_max(result.precision, element.precision),
+            )
+        return result
+
+    def neg(self, element):
+        return MagPrec(element.magnitude + 1, element.precision)
+
+    def abs(self, element):
+        return MagPrec(element.magnitude + 1, element.precision)
+
+    def mul(self, elements):
+        result = elements[0]
+        for element in elements[1:]:
+            result = MagPrec(
+                result.magnitude + element.magnitude,
+                _precision_add(result.precision, element.precision),
+            )
+        return result
+
+    def div(self, left, right):
+        """The paper's modified division semantics (end of 4.2): treat
+        division like multiplication in both components, avoiding the
+        infinite precision a faithful rule would produce."""
+        return MagPrec(
+            left.magnitude + right.magnitude,
+            _precision_add(left.precision, right.precision),
+        )
+
+    def join(self, elements):
+        if not elements:
+            return MagPrec(1, 0)
+        result = elements[0]
+        for element in elements[1:]:
+            result = MagPrec(
+                max(result.magnitude, element.magnitude),
+                _precision_max(result.precision, element.precision),
+            )
+        return result

@@ -1,0 +1,250 @@
+"""Sort correspondences (Definition 4.1) and semantic differences (4.2).
+
+A :class:`SortCorrespondence` packages the tuple ``(S, K, phi, M)``:
+
+- ``S``: the unbounded sort (Int or Real);
+- ``K``: the bounded kind (bitvector sorts of each width, or fixed-point
+  shapes over bitvectors);
+- ``phi``: the partial value conversion from S into a member of K, and its
+  inverse (total on K, per property (ii) of the definition);
+- ``M``: the operator mapping (e.g. ``* -> bvmul``, ``+ -> fp.add``).
+
+Two concrete correspondences are provided:
+
+- :data:`INT_TO_BITVECTOR` -- the paper's integer arbitrage. Semantic
+  differences stem from two's-complement overflow; the transformation
+  suppresses them with overflow-guard assertions.
+- :data:`REAL_TO_FIXEDPOINT` -- the real arbitrage, targeting scaled
+  fixed-point bitvectors parameterized by the (magnitude, precision)
+  abstract domain (see DESIGN.md for the substitution rationale vs the
+  paper's IEEE FP target). Semantic differences stem from rounding:
+  constants without a finite base-2 expansion and truncated products.
+
+The module also exposes :data:`REAL_TO_FLOATINGPOINT`'s value maps for
+the genuine FP theory (used by the softfloat tests and the SMT-LIB FP
+printer), where NaN/infinities are additional semantic differences
+(footnote 1 of the paper).
+"""
+
+from fractions import Fraction
+
+from repro.errors import TransformError
+from repro.fp.softfloat import fp_from_fraction
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue, FPValue
+
+
+class SortCorrespondence:
+    """A concrete (S, K, phi, M) tuple.
+
+    Attributes:
+        name: identifier for reports.
+        source_sort: "Int" or "Real".
+        operator_map: Op -> Op mapping (the injective M).
+        comparison_map: comparison Op -> bounded comparison Op.
+    """
+
+    def __init__(self, name, source_sort, operator_map, comparison_map, phi, phi_inverse):
+        self.name = name
+        self.source_sort = source_sort
+        self.operator_map = dict(operator_map)
+        self.comparison_map = dict(comparison_map)
+        self._phi = phi
+        self._phi_inverse = phi_inverse
+
+    def phi(self, value, shape):
+        """Convert an unbounded value into the bounded sort of ``shape``.
+
+        Returns None when the value is not representable (phi is partial).
+        """
+        return self._phi(value, shape)
+
+    def phi_inverse(self, value, shape):
+        """Convert a bounded value back (total, property (ii))."""
+        return self._phi_inverse(value, shape)
+
+    def map_operator(self, op):
+        mapped = self.operator_map.get(op) or self.comparison_map.get(op)
+        if mapped is None:
+            raise TransformError(f"{self.name}: no mapping for operator {op}")
+        return mapped
+
+    def __repr__(self):
+        return f"SortCorrespondence({self.name})"
+
+
+# ---------------------------------------------------------------------------
+# Int -> BitVec
+# ---------------------------------------------------------------------------
+
+
+def _int_phi(value, width):
+    """Two's-complement image of an integer, or None if it does not fit."""
+    half = 1 << (width - 1)
+    if -half <= value < half:
+        return BVValue(value, width)
+    return None
+
+
+def _int_phi_inverse(value, width):
+    del width
+    return value.signed
+
+
+INT_TO_BITVECTOR = SortCorrespondence(
+    "int->bitvector",
+    "Int",
+    operator_map={
+        Op.ADD: Op.BVADD,
+        Op.SUB: Op.BVSUB,
+        Op.MUL: Op.BVMUL,
+        Op.NEG: Op.BVNEG,
+        Op.ABS: Op.BVABS,
+        Op.IDIV: Op.BVSDIV,
+        Op.MOD: Op.BVSMOD,
+    },
+    comparison_map={
+        Op.LE: Op.BVSLE,
+        Op.LT: Op.BVSLT,
+        Op.GE: Op.BVSGE,
+        Op.GT: Op.BVSGT,
+    },
+    phi=_int_phi,
+    phi_inverse=_int_phi_inverse,
+)
+
+#: Overflow guard for each mapped integer operator (Section 4.3): the
+#: predicate that must be *false* for the bounded op to agree with the
+#: unbounded one.
+INT_OVERFLOW_GUARDS = {
+    Op.BVADD: Op.BVSADDO,
+    Op.BVSUB: Op.BVSSUBO,
+    Op.BVMUL: Op.BVSMULO,
+    Op.BVSDIV: Op.BVSDIVO,
+    Op.BVNEG: Op.BVNEGO,
+    Op.BVABS: Op.BVNEGO,  # |INT_MIN| overflows exactly like -INT_MIN
+}
+
+
+# ---------------------------------------------------------------------------
+# Real -> fixed-point (scaled bitvector)
+# ---------------------------------------------------------------------------
+
+
+class FixedPointShape:
+    """A fixed-point format: ``magnitude_bits`` integer bits (including
+    sign) plus ``precision_bits`` fractional bits, stored as a signed
+    bitvector of ``width = magnitude_bits + precision_bits``.
+
+    The represented real is ``bits.signed / 2**precision_bits``.
+    """
+
+    __slots__ = ("magnitude_bits", "precision_bits")
+
+    def __init__(self, magnitude_bits, precision_bits):
+        self.magnitude_bits = max(2, magnitude_bits)
+        self.precision_bits = max(0, precision_bits)
+
+    @property
+    def width(self):
+        return self.magnitude_bits + self.precision_bits
+
+    @property
+    def scale(self):
+        return 1 << self.precision_bits
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FixedPointShape)
+            and self.magnitude_bits == other.magnitude_bits
+            and self.precision_bits == other.precision_bits
+        )
+
+    def __hash__(self):
+        return hash((self.magnitude_bits, self.precision_bits))
+
+    def __repr__(self):
+        return f"FixedPointShape(m={self.magnitude_bits}, p={self.precision_bits})"
+
+
+def _real_phi(value, shape):
+    """Exact fixed-point image of a rational, or None (partial phi)."""
+    scaled = Fraction(value) * shape.scale
+    if scaled.denominator != 1:
+        return None
+    scaled = int(scaled)
+    half = 1 << (shape.width - 1)
+    if -half <= scaled < half:
+        return BVValue(scaled, shape.width)
+    return None
+
+
+def _real_phi_inverse(value, shape):
+    return Fraction(value.signed, shape.scale)
+
+
+REAL_TO_FIXEDPOINT = SortCorrespondence(
+    "real->fixedpoint",
+    "Real",
+    operator_map={
+        Op.ADD: Op.BVADD,
+        Op.SUB: Op.BVSUB,
+        Op.MUL: Op.BVMUL,  # with rescaling, see transform
+        Op.NEG: Op.BVNEG,
+        Op.RDIV: Op.BVSDIV,  # with prescaling, see transform
+    },
+    comparison_map={
+        Op.LE: Op.BVSLE,
+        Op.LT: Op.BVSLT,
+        Op.GE: Op.BVSGE,
+        Op.GT: Op.BVSGT,
+    },
+    phi=_real_phi,
+    phi_inverse=_real_phi_inverse,
+)
+
+
+# ---------------------------------------------------------------------------
+# Real -> IEEE floating point (value-level correspondence)
+# ---------------------------------------------------------------------------
+
+
+def _fp_phi(value, sort):
+    """Round a rational into (eb, sb); None when the image is pathological
+    or inexact (phi must be exact to be a correspondence image)."""
+    image = fp_from_fraction(Fraction(value), sort.eb, sort.sb)
+    if image.is_pathological:
+        return None
+    if image.to_fraction() != Fraction(value):
+        return None
+    return image
+
+
+def _fp_phi_inverse(value, sort):
+    del sort
+    if value.is_pathological:
+        # NaN and infinities have no preimage; the paper treats any
+        # computation reaching them as a semantic difference.
+        raise TransformError("pathological floating-point value has no preimage")
+    return value.to_fraction()
+
+
+REAL_TO_FLOATINGPOINT = SortCorrespondence(
+    "real->floatingpoint",
+    "Real",
+    operator_map={
+        Op.ADD: Op.FP_ADD,
+        Op.SUB: Op.FP_SUB,
+        Op.MUL: Op.FP_MUL,
+        Op.NEG: Op.FP_NEG,
+        Op.RDIV: Op.FP_DIV,
+    },
+    comparison_map={
+        Op.LE: Op.FP_LEQ,
+        Op.LT: Op.FP_LT,
+        Op.GE: Op.FP_GEQ,
+        Op.GT: Op.FP_GT,
+    },
+    phi=_fp_phi,
+    phi_inverse=_fp_phi_inverse,
+)

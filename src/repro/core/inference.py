@@ -1,0 +1,191 @@
+"""Bound inference by abstract interpretation (Section 4.2).
+
+A single post-order traversal of each assertion's syntax tree, applying
+the transfer functions of Fig. 5. The variable assumption ``x`` follows
+the paper's practical choice: the width of the largest constant in the
+constraint, plus one bit (componentwise for the real domain).
+
+The inferred bound ``[S]`` is the join over all assertion roots. The
+pipeline then chooses the bitvector width (or fixed-point shape) from it,
+possibly capped -- with correctness guaranteed regardless by the
+underapproximate-then-verify strategy of Section 4.4.
+"""
+
+from fractions import Fraction
+
+from repro.core.absint import (
+    IntWidthDomain,
+    MagPrec,
+    RealMagnitudePrecisionDomain,
+    dig,
+    int_width,
+)
+from repro.errors import TransformError
+from repro.smtlib.sorts import INT, REAL
+from repro.smtlib.terms import Op
+
+
+class BoundInference:
+    """Result of bound inference over a script.
+
+    Attributes:
+        theory: ``"int"`` or ``"real"``.
+        assumption: the variable assumption ``x`` (int width, or MagPrec).
+        root: the inferred ``[S]`` (int width, or MagPrec; the real
+            precision component may be None = infinite before capping).
+        node_widths: tid -> abstract value for every arithmetic node.
+        largest_constant: the constant that drove the assumption.
+    """
+
+    def __init__(self, theory, assumption, root, node_widths, largest_constant):
+        self.theory = theory
+        self.assumption = assumption
+        self.root = root
+        self.node_widths = node_widths
+        self.largest_constant = largest_constant
+
+    def __repr__(self):
+        return (
+            f"BoundInference({self.theory}, x={self.assumption}, "
+            f"[S]={self.root})"
+        )
+
+
+def _arith_constants(assertions):
+    """Every Int/Real literal constant in the assertions."""
+    constants = []
+    seen = set()
+    for assertion in assertions:
+        for sub in assertion.subterms():
+            if sub.tid in seen:
+                continue
+            seen.add(sub.tid)
+            if sub.is_const and (sub.sort is INT or sub.sort is REAL):
+                constants.append(sub.value)
+    return constants
+
+
+def _integer_assumption(constants):
+    """x = width of the largest constant, plus one bit."""
+    widest = 2
+    largest = 0
+    for value in constants:
+        width = int_width(value)
+        if width > widest:
+            widest = width
+            largest = value
+    return widest + 1, largest
+
+
+def _real_assumption(constants):
+    """Componentwise: magnitude of the largest constant plus one bit,
+    precision of the most precise constant plus one bit."""
+    magnitude = 2
+    precision = 1
+    largest = Fraction(0)
+    for value in constants:
+        value = Fraction(value)
+        element = RealMagnitudePrecisionDomain.alpha([value])
+        if element.magnitude > magnitude:
+            magnitude = element.magnitude
+            largest = value
+        digits = dig(value)
+        if digits is None:
+            # No finite binary expansion (e.g. 0.1): take the bits of the
+            # denominator as a practical proxy; exactness is re-checked at
+            # verification time anyway.
+            digits = value.denominator.bit_length()
+        precision = max(precision, digits)
+    return MagPrec(magnitude + 1, precision + 1), largest
+
+
+_JOIN_OPS = {
+    Op.NOT,
+    Op.AND,
+    Op.OR,
+    Op.XOR,
+    Op.IMPLIES,
+    Op.EQ,
+    Op.DISTINCT,
+    Op.LE,
+    Op.LT,
+    Op.GE,
+    Op.GT,
+    Op.ITE,
+}
+
+
+def _analyze_term(term, domain, node_widths, is_real):
+    for sub in term.subterms():
+        if sub.tid in node_widths:
+            continue
+        op = sub.op
+        args = [node_widths[a.tid] for a in sub.args]
+        if op is Op.CONST:
+            value = node_widths[sub.tid] = domain.const(sub.value)
+            continue
+        if op is Op.VAR:
+            if sub.sort is INT or sub.sort is REAL:
+                node_widths[sub.tid] = domain.var()
+            else:
+                node_widths[sub.tid] = domain.join([])
+            continue
+        if op is Op.ADD or op is Op.SUB:
+            node_widths[sub.tid] = domain.add(args)
+        elif op is Op.NEG:
+            node_widths[sub.tid] = domain.neg(args[0])
+        elif op is Op.ABS:
+            node_widths[sub.tid] = domain.abs(args[0])
+        elif op is Op.MUL:
+            node_widths[sub.tid] = domain.mul(args)
+        elif op is Op.IDIV:
+            node_widths[sub.tid] = domain.idiv(args[0], args[1])
+        elif op is Op.MOD:
+            node_widths[sub.tid] = domain.mod(args[0], args[1])
+        elif op is Op.RDIV:
+            node_widths[sub.tid] = domain.div(args[0], args[1])
+        elif op in _JOIN_OPS:
+            node_widths[sub.tid] = domain.join(args)
+        elif op is Op.TO_REAL or op is Op.TO_INT:
+            raise TransformError(
+                "mixed int/real constraints are outside STAUB's scope"
+            )
+        else:
+            raise TransformError(f"cannot infer bounds through operator {op}")
+    return node_widths[term.tid]
+
+
+def infer_bounds(script):
+    """Run bound inference on a script.
+
+    Returns:
+        A :class:`BoundInference`, with ``theory`` chosen from the
+        declared variable sorts.
+
+    Raises:
+        TransformError: the script mixes integer and real variables or
+            uses operators outside the Int/Real fragment.
+    """
+    sorts = set()
+    for sort in script.declarations.values():
+        if sort is INT or sort is REAL:
+            sorts.add(sort)
+    if len(sorts) > 1:
+        raise TransformError("constraint mixes Int and Real variables")
+    theory = "real" if REAL in sorts else "int"
+
+    constants = _arith_constants(script.assertions)
+    if theory == "int":
+        assumption, largest = _integer_assumption(constants)
+        domain = IntWidthDomain(assumption)
+    else:
+        assumption, largest = _real_assumption(constants)
+        domain = RealMagnitudePrecisionDomain(assumption)
+
+    node_widths = {}
+    roots = [
+        _analyze_term(assertion, domain, node_widths, theory == "real")
+        for assertion in script.assertions
+    ]
+    root = domain.join(roots) if roots else domain.join([])
+    return BoundInference(theory, assumption, root, node_widths, largest)

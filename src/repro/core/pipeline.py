@@ -1,0 +1,232 @@
+"""The end-to-end STAUB pipeline (Fig. 3) with portfolio semantics (4.4).
+
+:class:`Staub` wires the stages together: bound inference, width
+selection, transformation, bounded solving, verification. Its
+:meth:`Staub.run` returns an :class:`ArbitrageReport` with the
+paper's cost decomposition (T_trans, T_post, T_check) on the unified
+virtual clock, plus the Fig. 6 case that applied.
+
+Portfolio accounting against a baseline run (T_pre) lives in
+:func:`portfolio_time`: the user-observed cost is
+``min(T_pre, T_trans + T_post + T_check)`` when STAUB's answer is usable,
+and ``T_pre`` otherwise -- two cores racing, never slower than the
+original (Section 5.1).
+"""
+
+from repro.bv.solver import solve_bounded_script
+from repro.core.correspondence import FixedPointShape
+from repro.core.inference import infer_bounds
+from repro.core.transform import transform_script
+from repro.core.verify import verify_model
+from repro.errors import TransformError
+from repro.solver import costs
+
+#: Fig. 6 cases (plus failure modes before solving).
+CASE_VERIFIED_SAT = "verified-sat"  # speedup: return the model
+CASE_SEMANTIC_DIFFERENCE = "semantic-difference"  # revert
+CASE_BOUNDED_UNSAT = "bounded-unsat"  # revert
+CASE_BOUNDED_UNKNOWN = "bounded-unknown"  # bounded side timed out
+CASE_TRANSFORM_FAILED = "transform-failed"  # constants too wide, etc.
+
+#: Work units charged per original-term DAG node during analysis+translation.
+TRANSLATE_COST_PER_NODE = 2
+
+#: Width caps: the analysis can produce huge widths for deep nonlinear
+#: terms; beyond these, bounded solving is hopeless anyway and the
+#: underapproximation handles correctness.
+MAX_INT_WIDTH = 16
+MIN_INT_WIDTH = 4
+MAX_MAGNITUDE_BITS = 12
+MAX_PRECISION_BITS = 8
+
+
+class ArbitrageReport:
+    """Everything STAUB did for one constraint.
+
+    Attributes:
+        case: one of the CASE_* constants.
+        model: verified satisfying assignment (only for verified-sat).
+        t_trans / t_post / t_check: unified work per stage.
+        width: chosen bitvector width (int) or total fixed-point width.
+        shape: the fixed-point shape for real constraints.
+        inference: the :class:`BoundInference` (None if analysis failed).
+        bounded_status: raw status from the bounded solver.
+    """
+
+    def __init__(
+        self,
+        case,
+        model=None,
+        t_trans=0,
+        t_post=0,
+        t_check=0,
+        width=None,
+        shape=None,
+        inference=None,
+        bounded_status=None,
+    ):
+        self.case = case
+        self.model = model
+        self.t_trans = t_trans
+        self.t_post = t_post
+        self.t_check = t_check
+        self.width = width
+        self.shape = shape
+        self.inference = inference
+        self.bounded_status = bounded_status
+
+    @property
+    def total_work(self):
+        return self.t_trans + self.t_post + self.t_check
+
+    @property
+    def usable(self):
+        """True when STAUB produced an answer the user can take."""
+        return self.case == CASE_VERIFIED_SAT
+
+    def __repr__(self):
+        return f"ArbitrageReport({self.case}, total={self.total_work})"
+
+
+class Staub:
+    """Configurable theory-arbitrage pre-processor.
+
+    Args:
+        width_strategy: ``"absint"`` (the paper's inference), or an int
+            for a fixed width (the ablation baselines).
+        max_int_width / max_magnitude_bits / max_precision_bits: caps.
+    """
+
+    def __init__(
+        self,
+        width_strategy="absint",
+        max_int_width=MAX_INT_WIDTH,
+        max_magnitude_bits=MAX_MAGNITUDE_BITS,
+        max_precision_bits=MAX_PRECISION_BITS,
+        optimizer=None,
+    ):
+        self.width_strategy = width_strategy
+        self.max_int_width = max_int_width
+        self.max_magnitude_bits = max_magnitude_bits
+        self.max_precision_bits = max_precision_bits
+        self.optimizer = optimizer
+
+    # -- width selection ---------------------------------------------------
+
+    def _choose_int_width(self, inference):
+        """Width selection for integer constraints.
+
+        When the root inference ``[S]`` is within the practical cap, use
+        it directly (Fig. 4 of the paper: the root width covers every
+        intermediate). Deeply nonlinear constraints push ``[S]`` far past
+        any solvable width; there we fall back to the variable assumption
+        ``x`` and let the overflow guards enforce intermediate soundness
+        (exactly the shape of the paper's Fig. 1b, where the sum-of-cubes
+        constraint is translated at the assumption width 12 rather than
+        the 38-bit root width).
+        """
+        if isinstance(self.width_strategy, int):
+            return self.width_strategy
+        if inference.root <= self.max_int_width:
+            return max(MIN_INT_WIDTH, inference.root)
+        return max(MIN_INT_WIDTH, min(inference.assumption, self.max_int_width))
+
+    def _choose_shape(self, inference):
+        if isinstance(self.width_strategy, int):
+            magnitude = max(2, self.width_strategy - self.width_strategy // 3)
+            precision = max(1, self.width_strategy // 3)
+            return FixedPointShape(magnitude, precision)
+        root = inference.root
+        magnitude = max(3, min(root.magnitude, self.max_magnitude_bits))
+        precision = root.precision
+        if precision is None:
+            precision = self.max_precision_bits
+        precision = max(1, min(precision, self.max_precision_bits))
+        return FixedPointShape(magnitude, precision)
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def transform(self, script):
+        """Stages 1-3: infer bounds and translate.
+
+        Returns:
+            ``(TransformResult, BoundInference, t_trans)``.
+
+        Raises:
+            TransformError: unsupported constraint or unrepresentable
+                constants at the chosen width.
+        """
+        inference = infer_bounds(script)
+        if inference.theory == "int":
+            width = self._choose_int_width(inference)
+            result = transform_script(script, "int", width=width)
+        else:
+            shape = self._choose_shape(inference)
+            result = transform_script(script, "real", shape=shape)
+        t_trans = TRANSLATE_COST_PER_NODE * script.size()
+        return result, inference, t_trans
+
+    def run(self, script, budget=None):
+        """Run the full pipeline on one unbounded script.
+
+        Args:
+            script: the original constraint.
+            budget: unified work budget for the bounded solve.
+
+        Returns:
+            An :class:`ArbitrageReport`.
+        """
+        try:
+            transformed, inference, t_trans = self.transform(script)
+        except TransformError:
+            return ArbitrageReport(CASE_TRANSFORM_FAILED)
+
+        bounded_script = transformed.script
+        if self.optimizer is not None:
+            # RQ2: chain a bounded-constraint optimizer (SLOT) after the
+            # arbitrage; its cost is part of T_trans.
+            bounded_script = self.optimizer(bounded_script)
+            t_trans += TRANSLATE_COST_PER_NODE * transformed.script.size()
+
+        remaining = None if budget is None else max(1, budget - t_trans)
+        bounded = solve_bounded_script(bounded_script, max_work=remaining)
+        t_post = costs.from_sat(bounded.work)
+        common = dict(
+            t_trans=t_trans,
+            t_post=t_post,
+            width=transformed.width,
+            shape=transformed.shape,
+            inference=inference,
+            bounded_status=bounded.status,
+        )
+
+        if bounded.status == "unknown":
+            return ArbitrageReport(CASE_BOUNDED_UNKNOWN, **common)
+        if bounded.status == "unsat":
+            # Original-unsat and bounds-insufficient are indistinguishable
+            # (Fig. 6 case 1): revert.
+            return ArbitrageReport(CASE_BOUNDED_UNSAT, **common)
+
+        candidate = transformed.back_map(bounded.model)
+        outcome = verify_model(script, candidate)
+        common["t_check"] = outcome.work
+        if outcome.ok:
+            return ArbitrageReport(CASE_VERIFIED_SAT, model=candidate, **common)
+        return ArbitrageReport(CASE_SEMANTIC_DIFFERENCE, **common)
+
+
+def portfolio_time(t_pre, report):
+    """User-observed cost under the two-core portfolio (Section 5.1).
+
+    Args:
+        t_pre: unified work of solving the original constraint (with
+            timeouts clamped to the budget).
+        report: the :class:`ArbitrageReport` for the same constraint.
+
+    Returns:
+        ``min(t_pre, report.total_work)`` when STAUB's run produced a
+        usable answer, else ``t_pre``.
+    """
+    if report.usable:
+        return min(t_pre, report.total_work)
+    return t_pre

@@ -1,0 +1,75 @@
+"""Theoretical properties of the unbounded logics (Table 1 of the paper).
+
+A small registry of established results, used by the Table 1 experiment
+and double-checked empirically by the test suite where possible (e.g. the
+linear-integer solution bound of Papadimitriou is evaluated on concrete
+instances to show it is "practically unbounded").
+"""
+
+
+class LogicProperties:
+    """Decidability / boundedness facts for one logic."""
+
+    __slots__ = ("logic", "name", "decidable", "theoretically_bounded", "practically_bounded", "note")
+
+    def __init__(self, logic, name, decidable, theoretically_bounded, practically_bounded, note):
+        self.logic = logic
+        self.name = name
+        self.decidable = decidable
+        self.theoretically_bounded = theoretically_bounded
+        self.practically_bounded = practically_bounded
+        self.note = note
+
+
+TABLE1 = (
+    LogicProperties(
+        "QF_LIA",
+        "Linear Integer Arithmetic",
+        decidable=True,
+        theoretically_bounded=True,
+        practically_bounded=False,
+        note="solutions bounded by 2n(ma)^(2m+1) [Papadimitriou 1981]; "
+        "exponential in the number of inequalities",
+    ),
+    LogicProperties(
+        "QF_NIA",
+        "Nonlinear Integer Arithmetic",
+        decidable=False,
+        theoretically_bounded=False,
+        practically_bounded=False,
+        note="Hilbert's tenth problem [Davis-Matijasevic-Robinson 1976]",
+    ),
+    LogicProperties(
+        "QF_LRA",
+        "Linear Real Arithmetic",
+        decidable=True,
+        theoretically_bounded=False,
+        practically_bounded=False,
+        note="decidable via simplex; magnitudes and precision unbounded",
+    ),
+    LogicProperties(
+        "QF_NRA",
+        "Nonlinear Real Arithmetic",
+        decidable=True,
+        theoretically_bounded=False,
+        practically_bounded=False,
+        note="decidable via CAD [Tarski]; no bound on satisfying assignments",
+    ),
+)
+
+
+def papadimitriou_bound(num_vars, num_inequalities, largest_constant):
+    """The LIA solution bound ``2n(ma)^(2m+1)`` from Table 1's source.
+
+    Used by the Table 1 experiment to demonstrate the bound's practical
+    uselessness: for even modest constraint counts it exceeds any usable
+    bitvector width.
+    """
+    return 2 * num_vars * (num_inequalities * largest_constant) ** (
+        2 * num_inequalities + 1
+    )
+
+
+def bits_needed(value):
+    """Bitvector width needed to represent ``value`` (signed)."""
+    return int(value).bit_length() + 1

@@ -1,0 +1,71 @@
+"""Verification of bounded models against the original constraint (4.4).
+
+The underapproximation contract: a ``sat`` answer from the bounded side is
+only trusted after the satisfying assignment -- mapped back through
+phi^-1 -- makes every *original* assertion true under exact integer /
+rational semantics. Failures are the paper's "semantic difference" cases
+(Fig. 6, case 3) and cause a revert to the original constraint.
+"""
+
+from repro.errors import EvaluationError
+from repro.smtlib.evaluator import evaluate
+from repro.solver import costs
+
+#: Verification outcomes.
+VERIFIED = "verified"
+SEMANTIC_DIFFERENCE = "semantic-difference"
+
+
+class VerifyOutcome:
+    """Result of checking one candidate model.
+
+    Attributes:
+        status: :data:`VERIFIED` or :data:`SEMANTIC_DIFFERENCE`.
+        assignment: the unbounded candidate that was checked.
+        work: unified work units spent evaluating (T_check).
+        failing_assertion: index of the first assertion that evaluated to
+            false (None when verified).
+    """
+
+    __slots__ = ("status", "assignment", "work", "failing_assertion")
+
+    def __init__(self, status, assignment, work, failing_assertion=None):
+        self.status = status
+        self.assignment = assignment
+        self.work = work
+        self.failing_assertion = failing_assertion
+
+    @property
+    def ok(self):
+        return self.status == VERIFIED
+
+    def __repr__(self):
+        return f"VerifyOutcome({self.status}, work={self.work})"
+
+
+def verify_model(script, assignment):
+    """Check a candidate assignment against the original script.
+
+    Args:
+        script: the original (unbounded) script.
+        assignment: name -> exact value mapping from
+            :meth:`TransformResult.back_map`.
+
+    Returns:
+        A :class:`VerifyOutcome`; never raises on semantic differences.
+    """
+    work = 0
+    for index, assertion in enumerate(script.assertions):
+        work += assertion.size()
+        try:
+            value = evaluate(assertion, assignment)
+        except EvaluationError:
+            value = False
+        if value is not True:
+            return VerifyOutcome(
+                SEMANTIC_DIFFERENCE,
+                assignment,
+                costs.from_interval(work),
+                failing_assertion=index,
+            )
+    return VerifyOutcome(VERIFIED, assignment, costs.from_interval(work))

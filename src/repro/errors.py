@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SmtLibError(ReproError):
+    """Malformed SMT-LIB input or an ill-typed term construction."""
+
+
+class ParseError(SmtLibError):
+    """A syntax error while reading SMT-LIB text.
+
+    Attributes:
+        line: 1-based line of the offending token, when known.
+        column: 1-based column of the offending token, when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SortError(SmtLibError):
+    """A term was constructed with operands of the wrong sort."""
+
+
+class EvaluationError(ReproError):
+    """A term could not be evaluated under the given assignment."""
+
+
+class SolverError(ReproError):
+    """The solver stack was used incorrectly or hit an internal limit."""
+
+
+class UnsupportedLogicError(SolverError):
+    """A constraint uses operations outside the supported logics."""
+
+
+class TransformError(ReproError):
+    """STAUB could not transform a constraint to a bounded theory."""
+
+
+class BudgetExceeded(SolverError):
+    """A solver exhausted its deterministic work budget (a timeout)."""
+
+    def __init__(self, spent, budget):
+        super().__init__(f"budget exceeded: spent {spent} of {budget} work units")
+        self.spent = spent
+        self.budget = budget

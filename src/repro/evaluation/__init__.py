@@ -1,0 +1,38 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+The central object is :class:`~repro.evaluation.runner.ExperimentCache`,
+which runs (and memoizes) baseline and arbitrage solves over the
+generated suites; the per-experiment modules render the paper's tables
+and figures from it:
+
+- :mod:`repro.evaluation.table1` -- theory properties summary.
+- :mod:`repro.evaluation.fig2` -- fixed-width sweep (performance and
+  semantics preservation).
+- :mod:`repro.evaluation.table2` -- tractability improvements.
+- :mod:`repro.evaluation.table3` -- geomean speedups by logic / solver /
+  initial-time interval / width strategy, with the SLOT column.
+- :mod:`repro.evaluation.fig7` -- before/after scatter series.
+- :mod:`repro.evaluation.fig8` -- termination-prover client (RQ3).
+- :mod:`repro.evaluation.ablation` -- width-inference statistics.
+- :mod:`repro.evaluation.bounded_gap` -- the intro's bounded-vs-unbounded
+  solving-time gap on operation-equivalent constraint pairs.
+
+Run everything with ``python -m repro.evaluation.run_all``.
+"""
+
+from repro.evaluation.runner import (
+    TIMEOUT_WORK,
+    VIRTUAL_UNITS_PER_SECOND,
+    ExperimentCache,
+    to_virtual_seconds,
+)
+from repro.evaluation.stats import geometric_mean, speedup
+
+__all__ = [
+    "TIMEOUT_WORK",
+    "VIRTUAL_UNITS_PER_SECOND",
+    "ExperimentCache",
+    "to_virtual_seconds",
+    "geometric_mean",
+    "speedup",
+]

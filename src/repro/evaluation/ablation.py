@@ -1,0 +1,77 @@
+"""Section 5.2's width-inference ablation.
+
+Reports the distribution of widths STAUB's abstract interpretation picks
+(the paper reports an average of 13.1 bits) and compares verified-case
+counts and tractability improvements against the fixed 8- and 16-bit
+strategies -- the argument that inference beats both a smaller and a
+larger constant choice.
+"""
+
+from repro.evaluation.runner import ExperimentCache, LOGICS, SOLVER_PROFILES
+from repro.evaluation.stats import geometric_mean
+
+
+def width_statistics(cache=None, logics=LOGICS):
+    """Distribution of inferred widths across all suites."""
+    cache = cache or ExperimentCache()
+    widths = []
+    for logic in logics:
+        for benchmark in cache.suite(logic):
+            arb = cache.arbitrage(logic, benchmark.name, "staub")
+            if arb.width is not None:
+                widths.append(arb.width)
+    widths.sort()
+    return {
+        "count": len(widths),
+        "mean": sum(widths) / len(widths) if widths else 0.0,
+        "min": widths[0] if widths else None,
+        "max": widths[-1] if widths else None,
+        "median": widths[len(widths) // 2] if widths else None,
+    }
+
+
+def strategy_comparison(cache=None, logics=LOGICS):
+    """Verified cases and tractability improvements per strategy."""
+    cache = cache or ExperimentCache()
+    comparison = {}
+    for strategy in ("fixed8", "fixed16", "staub"):
+        verified = 0
+        tractability = 0
+        speedups = []
+        for logic in logics:
+            for profile in SOLVER_PROFILES:
+                for row in cache.rows(logic, profile, strategy):
+                    if row["verified"]:
+                        verified += 1
+                        speedups.append(max(row["t_pre"], 1) / max(row["final"], 1))
+                    if row["tractability"]:
+                        tractability += 1
+        comparison[strategy] = {
+            "verified": verified,
+            "tractability": tractability,
+            "verified_speedup": geometric_mean(speedups) if speedups else None,
+        }
+    return comparison
+
+
+def render(cache=None):
+    cache = cache or ExperimentCache()
+    stats = width_statistics(cache)
+    comparison = strategy_comparison(cache)
+    lines = [
+        "Width inference ablation (Section 5.2)",
+        "",
+        f"inferred widths: count={stats['count']} mean={stats['mean']:.1f} "
+        f"median={stats['median']} min={stats['min']} max={stats['max']}",
+        "",
+        f"{'strategy':9s} {'verified':>9s} {'tractability':>13s} {'verified speedup':>17s}",
+    ]
+    for strategy, data in comparison.items():
+        verified_speedup = (
+            "-" if data["verified_speedup"] is None else f"{data['verified_speedup']:.3f}"
+        )
+        lines.append(
+            f"{strategy:9s} {data['verified']:9d} {data['tractability']:13d} "
+            f"{verified_speedup:>17s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Machine-readable export of experiment results (JSON / CSV).
+
+A real artifact ships raw data next to rendered tables; this module
+serializes the harness output so the numbers in EXPERIMENTS.md can be
+regenerated and diffed mechanically.
+"""
+
+import csv
+import io
+import json
+
+from repro.evaluation.runner import LOGICS, SOLVER_PROFILES, STRATEGIES
+
+
+def rows_as_dicts(cache, logics=LOGICS):
+    """Flatten every (logic, profile, strategy, benchmark) row."""
+    flattened = []
+    for logic in logics:
+        for profile in SOLVER_PROFILES:
+            for strategy in STRATEGIES:
+                for row in cache.rows(logic, profile, strategy):
+                    record = dict(row)
+                    record["logic"] = logic
+                    record["profile"] = profile
+                    record["strategy"] = strategy
+                    flattened.append(record)
+    return flattened
+
+
+def to_json(cache, logics=LOGICS, indent=2):
+    """All per-constraint rows as a JSON string."""
+    return json.dumps(rows_as_dicts(cache, logics), indent=indent, sort_keys=True)
+
+
+_CSV_FIELDS = (
+    "logic",
+    "profile",
+    "strategy",
+    "name",
+    "pre_status",
+    "t_pre",
+    "case",
+    "verified",
+    "t_staub",
+    "final",
+    "tractability",
+    "timed_out",
+    "width",
+)
+
+
+def to_csv(cache, logics=LOGICS):
+    """All per-constraint rows as a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+    writer.writeheader()
+    for record in rows_as_dicts(cache, logics):
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def write_results(cache, json_path=None, csv_path=None, logics=LOGICS):
+    """Write results to disk; returns the paths written."""
+    written = []
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(to_json(cache, logics))
+        written.append(json_path)
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(cache, logics))
+        written.append(csv_path)
+    return written

@@ -1,0 +1,53 @@
+"""Per-family breakdown of arbitrage effectiveness.
+
+Not a table from the paper, but the analysis a reader wants next: which
+benchmark families drive the wins, and why. Used by EXPERIMENTS.md and by
+the test suite to pin the mechanism behind each headline number (e.g.
+"the corvus NIA tractability improvements come from large-witness
+families, not from the unsat residue").
+"""
+
+from repro.evaluation.runner import ExperimentCache
+from repro.evaluation.stats import geometric_mean, speedup
+
+
+def family_breakdown(cache, logic, profile, strategy="staub"):
+    """Returns {family: {count, verified, tractability, overall_speedup}}."""
+    by_family = {}
+    for benchmark in cache.suite(logic):
+        row = cache.row(logic, benchmark.name, profile, strategy)
+        bucket = by_family.setdefault(
+            benchmark.family,
+            {"count": 0, "verified": 0, "tractability": 0, "speedups": []},
+        )
+        bucket["count"] += 1
+        bucket["verified"] += row["verified"]
+        bucket["tractability"] += row["tractability"]
+        bucket["speedups"].append(speedup(row["t_pre"], row["final"]))
+    result = {}
+    for family, bucket in by_family.items():
+        result[family] = {
+            "count": bucket["count"],
+            "verified": bucket["verified"],
+            "tractability": bucket["tractability"],
+            "overall_speedup": geometric_mean(bucket["speedups"]),
+        }
+    return result
+
+
+def render(cache=None, logics=("QF_NIA", "QF_LIA", "QF_NRA", "QF_LRA")):
+    cache = cache or ExperimentCache()
+    lines = ["Per-family breakdown (STAUB strategy)", ""]
+    for logic in logics:
+        for profile in ("zorro", "corvus"):
+            lines.append(f"{logic} / {profile}")
+            breakdown = family_breakdown(cache, logic, profile)
+            for family, data in sorted(breakdown.items()):
+                lines.append(
+                    f"  {family:16s} n={data['count']:3d} "
+                    f"verified={data['verified']:3d} "
+                    f"tract={data['tractability']:3d} "
+                    f"overall={data['overall_speedup']:7.2f}x"
+                )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Figure 7: before/after solving-time scatter per solver x logic.
+
+Each point is one constraint: x = original solving time, y = final time
+under portfolio semantics (both in virtual seconds, timeouts clamped to
+300). Points below the diagonal are speedups; points on the x = 300 edge
+with y < 300 are tractability improvements; portfolio semantics guarantee
+no point lies above the diagonal.
+"""
+
+from repro.evaluation.runner import (
+    ExperimentCache,
+    LOGICS,
+    SOLVER_PROFILES,
+    to_virtual_seconds,
+)
+
+
+def scatter_series(cache=None, logics=LOGICS, strategy="staub"):
+    """Returns {(logic, profile): [(x_seconds, y_seconds, name), ...]}."""
+    cache = cache or ExperimentCache()
+    series = {}
+    for logic in logics:
+        for profile in SOLVER_PROFILES:
+            points = []
+            for row in cache.rows(logic, profile, strategy):
+                points.append(
+                    (
+                        to_virtual_seconds(row["t_pre"]),
+                        to_virtual_seconds(row["final"]),
+                        row["name"],
+                    )
+                )
+            series[(logic, profile)] = points
+    return series
+
+
+def quadrant_summary(points, timeout_seconds=300.0, epsilon=1e-9):
+    """Count points by region: improved / unchanged / tractability."""
+    improved = sum(1 for x, y, _ in points if y < x - epsilon and x < timeout_seconds)
+    tractability = sum(
+        1 for x, y, _ in points if x >= timeout_seconds and y < timeout_seconds
+    )
+    above = sum(1 for x, y, _ in points if y > x + epsilon)
+    unchanged = len(points) - improved - tractability - above
+    return {
+        "improved": improved,
+        "tractability": tractability,
+        "unchanged": unchanged,
+        "above_diagonal": above,  # must be zero under portfolio semantics
+    }
+
+
+def ascii_scatter(points, size=24, limit=300.0):
+    """A terminal-friendly log-log scatter of (initial, final) times."""
+    import math
+
+    grid = [[" "] * (size + 1) for _ in range(size + 1)]
+
+    def cell(value):
+        value = max(value, limit / 10**4)
+        position = (math.log10(value) - math.log10(limit / 10**4)) / 4
+        return min(size, max(0, round(position * size)))
+
+    for step in range(size + 1):
+        grid[size - step][step] = "."  # the diagonal
+    for x, y, _ in points:
+        grid[size - cell(y)][cell(x)] = "o"
+    lines = ["final ^"]
+    for row in grid:
+        lines.append("      |" + "".join(row))
+    lines.append("      +" + "-" * (size + 1) + "> initial")
+    return "\n".join(lines)
+
+
+def render(cache=None):
+    """Human-readable Figure 7 (series summaries + ASCII scatters)."""
+    series = scatter_series(cache)
+    lines = ["Figure 7: final vs initial solving time (virtual seconds)", ""]
+    for (logic, profile), points in series.items():
+        summary = quadrant_summary(points)
+        lines.append(
+            f"{logic} / {profile}: {len(points)} points | "
+            f"improved={summary['improved']} "
+            f"tractability={summary['tractability']} "
+            f"unchanged={summary['unchanged']} "
+            f"above-diagonal={summary['above_diagonal']}"
+        )
+        lines.append(ascii_scatter(points))
+        for x, y, name in points:
+            if y < x - 1e-9:  # list only the interesting (improved) points
+                lines.append(f"    {name:22s} x={x:8.2f}  y={y:8.2f}")
+        lines.append("")
+    return "\n".join(lines)

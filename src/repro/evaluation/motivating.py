@@ -1,0 +1,120 @@
+"""The Section 2 motivating comparison as a harness experiment.
+
+Three variants of one satisfiable QF_NIA constraint (the paper's Fig. 1):
+
+  (a) the unbounded original;
+  (b) the bitvector translation with overflow guards (theory arbitrage);
+  (c) the original theory with integer bounds *imposed* as assertions.
+
+The paper's point: (b) is orders of magnitude faster than (a), while (c)
+barely moves -- the win comes from switching theories, not from the mere
+existence of bounds.
+
+Instance choice (a documented substitution, see DESIGN.md): the paper's
+sum-of-three-cubes instance exploits Z3's NIA weakness, which bites even
+at small witness magnitudes. Our native baselines are interval- and
+enumeration-based engines whose weakness is *witness magnitude*, so the
+reproduction demonstrates the same arbitrage effect on coupled quadratic
+instances with moderate-magnitude witnesses (the ``eigen`` family) --
+plus the literal cube instance for fidelity.
+"""
+
+from repro.benchgen import suite_for
+from repro.core.pipeline import Staub
+from repro.evaluation.runner import TIMEOUT_WORK, to_virtual_seconds
+from repro.smtlib import build, parse_script, print_script
+from repro.smtlib.script import Script
+from repro.solver import solve_script
+
+
+def _cubes_instance():
+    return parse_script(
+        "(set-logic QF_NIA)"
+        "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+        "(assert (= (+ (* x x x) (* y y y) (* z z z)) 378))"
+        "(check-sat)"
+    )
+
+
+def _eigen_instance():
+    suite = suite_for("QF_NIA")
+    for benchmark in suite:
+        if benchmark.family == "eigen":
+            return benchmark.script
+    raise AssertionError("eigen family missing from the QF_NIA suite")
+
+
+def _bounds_imposed(script, width):
+    """Variant (c): same assertions, plus [-2^(w-1), 2^(w-1)-1] bounds."""
+    low = 1 << (width - 1)
+    high = (1 << (width - 1)) - 1
+    bounded = Script(logic="QF_NIA")
+    for assertion in script.assertions:
+        bounded.add_assertion(assertion)
+    for name, sort in script.declarations.items():
+        if sort.is_int:
+            variable = build.Var(name, sort)
+            bounded.add_assertion(build.Le(variable, build.IntConst(high)))
+            bounded.add_assertion(build.Ge(variable, build.IntConst(-low)))
+    return bounded
+
+
+def run_motivating(profile="corvus", budget=TIMEOUT_WORK):
+    """Returns one record per instance with the three costs."""
+    records = []
+    staub = Staub()
+    for name, script in (
+        ("cubes-378", _cubes_instance()),
+        ("eigen", _eigen_instance()),
+    ):
+        original = solve_script(script, budget=budget, profile=profile)
+        original_work = budget if original.is_unknown else original.work
+
+        report = staub.run(script, budget=budget)
+        arbitrage_work = min(report.total_work, budget)
+
+        bounded_int = _bounds_imposed(script, report.width or 12)
+        imposed = solve_script(bounded_int, budget=budget, profile=profile)
+        imposed_work = budget if imposed.is_unknown else imposed.work
+
+        records.append(
+            {
+                "instance": name,
+                "original_status": original.status,
+                "original_work": original_work,
+                "arbitrage_case": report.case,
+                "arbitrage_work": arbitrage_work,
+                "width": report.width,
+                "bounds_imposed_status": imposed.status,
+                "bounds_imposed_work": imposed_work,
+            }
+        )
+    return records
+
+
+def render(budget=TIMEOUT_WORK):
+    lines = [
+        "Section 2 motivating comparison (virtual seconds; timeout 300)",
+        "",
+    ]
+    for profile in ("zorro", "corvus"):
+        records = run_motivating(profile=profile, budget=budget)
+        lines.append(
+            f"profile {profile}: "
+            f"{'instance':>12s} {'(a) original':>14s} {'(b) arbitrage':>14s} "
+            f"{'(c) bounds-imposed':>19s}  width"
+        )
+        for record in records:
+            lines.append(
+                f"{'':17s}{record['instance']:>12s} "
+                f"{to_virtual_seconds(record['original_work']):14.2f} "
+                f"{to_virtual_seconds(record['arbitrage_work']):14.2f} "
+                f"{to_virtual_seconds(record['bounds_imposed_work']):19.2f}  "
+                f"{record['width']}"
+            )
+        lines.append("")
+    lines.append(
+        "(b) switches theories and wins on the magnitude-hard instance; "
+        "(c) keeps the unbounded theory, and bounds alone do not help."
+    )
+    return "\n".join(lines)

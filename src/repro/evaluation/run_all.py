@@ -1,0 +1,96 @@
+"""CLI entry point: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.evaluation.run_all                    # everything
+    python -m repro.evaluation.run_all --experiment table3
+    python -m repro.evaluation.run_all --scale 0.25       # quick pass
+"""
+
+import argparse
+import sys
+import time
+
+from repro.evaluation import (
+    ablation,
+    bounded_gap,
+    families,
+    fig2,
+    fig7,
+    fig8,
+    motivating,
+    table1,
+    table2,
+    table3,
+)
+from repro.evaluation.runner import ExperimentCache
+
+EXPERIMENTS = (
+    "table1",
+    "motivating",
+    "fig2",
+    "table2",
+    "table3",
+    "fig7",
+    "ablation",
+    "bounded_gap",
+    "families",
+    "fig8",
+)
+
+
+def run(experiment, cache, args):
+    if experiment == "table1":
+        return table1.render()
+    if experiment == "fig2":
+        return fig2.render(cache)
+    if experiment == "table2":
+        return table2.render(cache)
+    if experiment == "table3":
+        return table3.render(cache)
+    if experiment == "fig7":
+        return fig7.render(cache)
+    if experiment == "ablation":
+        return ablation.render(cache)
+    if experiment == "bounded_gap":
+        return bounded_gap.render(cache)
+    if experiment == "families":
+        return families.render(cache)
+    if experiment == "motivating":
+        return motivating.render()
+    if experiment == "fig8":
+        return fig8.render(seed=args.seed, count=args.client_programs)
+    raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiment", default="all", help="one of: all, " + ", ".join(EXPERIMENTS))
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--scale", type=float, default=1.0, help="suite size multiplier")
+    parser.add_argument(
+        "--client-programs", type=int, default=97, help="program count for fig8"
+    )
+    parser.add_argument("--json", default=None, help="also dump raw rows as JSON")
+    parser.add_argument("--csv", default=None, help="also dump raw rows as CSV")
+    args = parser.parse_args(argv)
+
+    cache = ExperimentCache(seed=args.seed, scale=args.scale)
+    wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for experiment in wanted:
+        start = time.time()
+        print("=" * 78)
+        print(run(experiment, cache, args))
+        print(f"[{experiment} took {time.time() - start:.1f}s wall]")
+        print()
+    if args.json or args.csv:
+        from repro.evaluation.export import write_results
+
+        written = write_results(cache, json_path=args.json, csv_path=args.csv)
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

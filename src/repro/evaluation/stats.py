@@ -1,0 +1,28 @@
+"""Statistics helpers for the experiment harness."""
+
+import math
+
+
+def geometric_mean(values):
+    """Geometric mean of positive numbers; 1.0 for an empty sequence."""
+    values = [float(v) for v in values]
+    if not values:
+        return 1.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(t_pre, t_post):
+    """Paper's alpha = T_pre / T_final, floored away from zero."""
+    t_post = max(float(t_post), 1e-9)
+    return float(t_pre) / t_post
+
+
+def format_ratio(value):
+    """Human formatting used by the table renderers."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"

@@ -1,0 +1,60 @@
+"""Table 1: theoretical properties of the unbounded logics.
+
+Rendered from the registry in :mod:`repro.core.theory_properties`, plus a
+numeric demonstration that the one theoretical bound that does exist
+(linear integer arithmetic) is practically useless -- the paper's reason
+for needing inference rather than theory.
+"""
+
+from repro.core.theory_properties import TABLE1, bits_needed, papadimitriou_bound
+
+
+def table1_rows():
+    """The table as a list of dicts."""
+    return [
+        {
+            "logic": entry.name,
+            "decidable": "Yes" if entry.decidable else "No",
+            "theoretically_bounded": "Yes" if entry.theoretically_bounded else "No",
+            "practically_bounded": "Yes" if entry.practically_bounded else "No",
+            "note": entry.note,
+        }
+        for entry in TABLE1
+    ]
+
+
+def lia_bound_demonstration():
+    """Bit widths the Papadimitriou bound would demand on small instances."""
+    examples = []
+    for num_vars, num_inequalities, largest in ((3, 5, 15), (5, 20, 100), (10, 100, 1000)):
+        bound = papadimitriou_bound(num_vars, num_inequalities, largest)
+        examples.append(
+            {
+                "n": num_vars,
+                "m": num_inequalities,
+                "a": largest,
+                "bits_needed": bits_needed(bound),
+            }
+        )
+    return examples
+
+
+def render():
+    """Human-readable Table 1."""
+    lines = ["Table 1: theoretical results for unbounded SMT theories", ""]
+    header = f"{'Logic':34s} {'Decidable?':11s} {'Th.Bounded?':12s} {'Pr.Bounded?':12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table1_rows():
+        lines.append(
+            f"{row['logic']:34s} {row['decidable']:11s} "
+            f"{row['theoretically_bounded']:12s} {row['practically_bounded']:12s}"
+        )
+    lines.append("")
+    lines.append("Papadimitriou bound 2n(ma)^(2m+1) in bits (why 'practically' = No):")
+    for example in lia_bound_demonstration():
+        lines.append(
+            f"  n={example['n']:3d} m={example['m']:4d} a={example['a']:5d} "
+            f"-> needs a {example['bits_needed']:,}-bit bitvector"
+        )
+    return "\n".join(lines)

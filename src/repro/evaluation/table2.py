@@ -1,0 +1,64 @@
+"""Table 2: tractability improvements.
+
+A tractability improvement is a constraint the baseline could not solve
+within the timeout that theory arbitrage renders solvable (a verified
+model). Counted per logic x solver x width strategy, plus the paper's
+intersection column: constraints *neither* solver could solve originally
+that *at least one* solves after arbitrage.
+"""
+
+from repro.evaluation.runner import ExperimentCache, LOGICS, SOLVER_PROFILES, STRATEGIES
+
+
+def tractability_counts(cache=None, logics=LOGICS):
+    """Returns {logic: {profile: {strategy: count}, 'intersection': {...}}}."""
+    cache = cache or ExperimentCache()
+    table = {}
+    for logic in logics:
+        per_logic = {profile: {} for profile in SOLVER_PROFILES}
+        intersection = {}
+        for strategy in STRATEGIES:
+            for profile in SOLVER_PROFILES:
+                count = sum(
+                    1
+                    for row in cache.rows(logic, profile, strategy)
+                    if row["tractability"]
+                )
+                per_logic[profile][strategy] = count
+            both_timeout_solved = 0
+            for benchmark in cache.suite(logic):
+                bases = [
+                    cache.baseline(logic, benchmark.name, profile)
+                    for profile in SOLVER_PROFILES
+                ]
+                if not all(base.timed_out for base in bases):
+                    continue
+                arb = cache.arbitrage(logic, benchmark.name, strategy)
+                if arb.usable:
+                    both_timeout_solved += 1
+            intersection[strategy] = both_timeout_solved
+        per_logic["intersection"] = intersection
+        table[logic] = per_logic
+    return table
+
+
+def render(cache=None):
+    """Human-readable Table 2."""
+    table = tractability_counts(cache)
+    lines = ["Table 2: tractability improvements (timeout -> verified answer)", ""]
+    header = (
+        f"{'logic':8s} "
+        + "".join(f"{p + ':' + s:>16s}" for p in SOLVER_PROFILES for s in STRATEGIES)
+        + "".join(f"{'both:' + s:>16s}" for s in STRATEGIES)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for logic, per_logic in table.items():
+        cells = []
+        for profile in SOLVER_PROFILES:
+            for strategy in STRATEGIES:
+                cells.append(f"{per_logic[profile][strategy]:16d}")
+        for strategy in STRATEGIES:
+            cells.append(f"{per_logic['intersection'][strategy]:16d}")
+        lines.append(f"{logic:8s} " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Table 3: geometric-mean speedups.
+
+For each logic x solver x initial-solving-time interval, and for each
+width strategy (fixed 8-bit, fixed 16-bit, STAUB's inference), report:
+
+- the number of verified cases (constraints whose arbitrage model passed
+  verification),
+- the geomean speedup over verified cases,
+- the geomean speedup over the whole interval (portfolio semantics:
+  unverified cases contribute exactly 1.0),
+- and, for the STAUB strategy, the overall speedup with SLOT chained
+  after the transformation (the paper's "SLOT" column / RQ2).
+"""
+
+from repro.evaluation.runner import (
+    ExperimentCache,
+    LOGICS,
+    SOLVER_PROFILES,
+    STRATEGIES,
+    VIRTUAL_UNITS_PER_SECOND,
+)
+from repro.evaluation.stats import geometric_mean, speedup
+
+#: The paper's T_pre interval buckets, in virtual seconds.
+INTERVALS = ((0, 300), (1, 300), (60, 300), (180, 300))
+
+
+def _in_interval(row, interval):
+    low, high = interval
+    t_pre_seconds = row["t_pre"] / VIRTUAL_UNITS_PER_SECOND
+    return low <= t_pre_seconds <= high
+
+
+def cell(cache, logic, profile, strategy, interval, slot=False):
+    """One (strategy x interval) cell: counts and geomean speedups."""
+    rows = [
+        row
+        for row in cache.rows(logic, profile, strategy, slot=slot)
+        if _in_interval(row, interval)
+    ]
+    verified = [row for row in rows if row["verified"]]
+    verified_speedups = [speedup(row["t_pre"], row["final"]) for row in verified]
+    overall_speedups = [speedup(row["t_pre"], row["final"]) for row in rows]
+    return {
+        "count": len(rows),
+        "verified_cases": len(verified),
+        "verified_speedup": geometric_mean(verified_speedups) if verified else None,
+        "overall_speedup": geometric_mean(overall_speedups) if rows else None,
+    }
+
+
+def table3(cache=None, logics=LOGICS):
+    """The full table: {logic: {profile: {interval: {strategy: cell}}}}."""
+    cache = cache or ExperimentCache()
+    table = {}
+    for logic in logics:
+        per_logic = {}
+        for profile in SOLVER_PROFILES:
+            per_profile = {}
+            for interval in INTERVALS:
+                per_interval = {}
+                for strategy in STRATEGIES:
+                    per_interval[strategy] = cell(cache, logic, profile, strategy, interval)
+                per_interval["slot"] = cell(
+                    cache, logic, profile, "staub", interval, slot=True
+                )
+                per_profile[interval] = per_interval
+            per_logic[profile] = per_profile
+        table[logic] = per_logic
+    return table
+
+
+def _format_speedup(value):
+    return "   -  " if value is None else f"{value:6.3f}"
+
+
+def render(cache=None):
+    """Human-readable Table 3."""
+    table = table3(cache)
+    lines = [
+        "Table 3: geometric mean speedups "
+        "(verified cases / verified speedup / overall speedup)",
+        "",
+    ]
+    for logic, per_logic in table.items():
+        for profile, per_profile in per_logic.items():
+            lines.append(f"{logic} / {profile}")
+            lines.append(
+                f"  {'T_pre':9s} {'count':>6s} "
+                + "".join(
+                    f"| {s:>7s}: {'cases':>5s} {'verif':>6s} {'over':>6s} "
+                    for s in ("fixed8", "fixed16", "staub")
+                )
+                + "| slot-overall"
+            )
+            for interval, per_interval in per_profile.items():
+                label = f"{interval[0]}-{interval[1]}"
+                parts = [f"  {label:9s} {per_interval['staub']['count']:6d} "]
+                for strategy in STRATEGIES:
+                    data = per_interval[strategy]
+                    parts.append(
+                        f"| {strategy:>7s}: {data['verified_cases']:5d} "
+                        f"{_format_speedup(data['verified_speedup'])} "
+                        f"{_format_speedup(data['overall_speedup'])} "
+                    )
+                parts.append(
+                    f"| {_format_speedup(per_interval['slot']['overall_speedup'])}"
+                )
+                lines.append("".join(parts))
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Floating-point substrate: softfloat semantics and fixed-point encoding.
+
+- :mod:`repro.fp.softfloat` implements IEEE-754 arithmetic for arbitrary
+  exponent/significand widths with round-to-nearest-even, used to give the
+  SMT-LIB FP theory its semantics and to detect the paper's "semantic
+  differences" (rounding, NaN, infinities).
+- :mod:`repro.fp.fixedpoint` encodes real-sorted terms onto bitvectors as
+  scaled fixed-point values parameterized by the (magnitude, precision)
+  abstract domain -- the bounded solving target for Real constraints (see
+  DESIGN.md for why this substitutes for FP bit-blasting).
+"""
+
+from repro.fp.softfloat import (
+    fp_add,
+    fp_div,
+    fp_eq,
+    fp_from_fraction,
+    fp_leq,
+    fp_lt,
+    fp_mul,
+    fp_neg,
+    fp_abs,
+    fp_sub,
+    pack,
+    unpack,
+)
+
+__all__ = [
+    "fp_add",
+    "fp_div",
+    "fp_eq",
+    "fp_from_fraction",
+    "fp_leq",
+    "fp_lt",
+    "fp_mul",
+    "fp_neg",
+    "fp_abs",
+    "fp_sub",
+    "pack",
+    "unpack",
+]

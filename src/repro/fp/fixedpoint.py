@@ -1,0 +1,93 @@
+"""Value-level fixed-point arithmetic helpers.
+
+A fixed-point datum with shape ``(M, P)`` is a signed ``(M+P)``-bit
+bitvector whose integer value, divided by ``2**P``, is the represented
+real. These helpers implement the value-level encode/decode and the
+truncating arithmetic the term-level transformation
+(:class:`repro.core.transform._RealTransformer`) compiles to circuits --
+and the tests use them as the executable specification of that circuit.
+"""
+
+from fractions import Fraction
+
+from repro.smtlib.values import BVValue
+
+
+def encode(value, magnitude_bits, precision_bits):
+    """Exact fixed-point image of a rational, or None if unrepresentable.
+
+    This is phi of the real->fixed-point sort correspondence.
+    """
+    scaled = Fraction(value) * (1 << precision_bits)
+    if scaled.denominator != 1:
+        return None
+    width = magnitude_bits + precision_bits
+    scaled = int(scaled)
+    half = 1 << (width - 1)
+    if not -half <= scaled < half:
+        return None
+    return BVValue(scaled, width)
+
+
+def encode_rounded(value, magnitude_bits, precision_bits):
+    """Round to the nearest representable (ties to even), like a float.
+
+    Returns (BVValue, exact_flag); None when the magnitude overflows.
+    """
+    scale = 1 << precision_bits
+    scaled = Fraction(value) * scale
+    exact = scaled.denominator == 1
+    if not exact:
+        floor = scaled.numerator // scaled.denominator
+        remainder = scaled - floor
+        if remainder > Fraction(1, 2) or (remainder == Fraction(1, 2) and floor % 2):
+            floor += 1
+        scaled = Fraction(floor)
+    width = magnitude_bits + precision_bits
+    half = 1 << (width - 1)
+    if not -half <= int(scaled) < half:
+        return None, exact
+    return BVValue(int(scaled), width), exact
+
+
+def decode(bits, precision_bits):
+    """The rational a fixed-point bitvector represents (phi inverse)."""
+    return Fraction(bits.signed, 1 << precision_bits)
+
+
+def fx_add(left, right, precision_bits):
+    """Fixed-point addition is exact (same scale); None on overflow."""
+    del precision_bits  # same-scale addition needs no rescaling
+    total = left.signed + right.signed
+    if not left.fits_signed(total):
+        return None
+    return BVValue(total, left.width)
+
+
+def fx_mul(left, right, precision_bits):
+    """Truncating fixed-point multiply (the rounding analogue).
+
+    Truncation is toward minus infinity (arithmetic shift), matching the
+    bvashr-based circuit; None on overflow of the result width.
+    """
+    product = left.signed * right.signed
+    shifted = product >> precision_bits
+    if not left.fits_signed(shifted):
+        return None
+    return BVValue(shifted, left.width)
+
+
+def fx_div(left, right, precision_bits):
+    """Truncating fixed-point divide (toward zero, like bvsdiv).
+
+    None on division by zero or overflow.
+    """
+    if right.signed == 0:
+        return None
+    numerator = left.signed << precision_bits
+    quotient = abs(numerator) // abs(right.signed)
+    if (numerator < 0) != (right.signed < 0):
+        quotient = -quotient
+    if not left.fits_signed(quotient):
+        return None
+    return BVValue(quotient, left.width)

@@ -1,0 +1,255 @@
+"""Arbitrary-width IEEE-754 softfloat with round-to-nearest-even.
+
+The strategy is "compute exactly, then round once": every arithmetic
+operation computes the mathematically exact rational result with
+:class:`~fractions.Fraction` and then rounds it into the target format.
+For a single operation this is *exactly* IEEE-754 correct rounding, and it
+sidesteps hand-rolled guard/round/sticky bit bookkeeping entirely.
+
+Only the RNE (round nearest, ties to even) rounding mode is implemented;
+it is the SMT-LIB default and the only mode STAUB's translation emits.
+"""
+
+from fractions import Fraction
+
+from repro.smtlib.values import FPValue
+
+
+def _format_params(eb, sb):
+    """Derived format constants: (bias, emin, emax, max significand)."""
+    bias = (1 << (eb - 1)) - 1
+    emax = bias
+    emin = 1 - bias
+    return bias, emin, emax
+
+
+def _round_half_even(value):
+    """Round a Fraction to the nearest integer, ties to even."""
+    floor = value.numerator // value.denominator
+    remainder = value - floor
+    if remainder > Fraction(1, 2):
+        return floor + 1
+    if remainder < Fraction(1, 2):
+        return floor
+    return floor + (floor & 1)
+
+
+def fp_from_fraction(value, eb, sb):
+    """Round an exact rational into the (eb, sb) format under RNE.
+
+    Overflow produces an infinity (per IEEE-754 RNE overflow rules);
+    underflow may produce a subnormal or zero.
+    """
+    value = Fraction(value)
+    if value == 0:
+        return FPValue.zero(eb, sb)
+    sign = 1 if value < 0 else 0
+    magnitude = -value if sign else value
+    _, emin, emax = _format_params(eb, sb)
+
+    # Find e with 2**e <= magnitude < 2**(e+1).
+    exponent = magnitude.numerator.bit_length() - magnitude.denominator.bit_length()
+    if (Fraction(2) ** exponent) > magnitude:
+        exponent -= 1
+    elif (Fraction(2) ** (exponent + 1)) <= magnitude:
+        exponent += 1
+
+    if exponent < emin:
+        exponent = emin  # subnormal range: fixed scale
+    scale = exponent - (sb - 1)
+    scaled = magnitude / (Fraction(2) ** scale)
+    significand = _round_half_even(scaled)
+    if significand == 0:
+        return FPValue.zero(eb, sb, sign)
+    if significand >= (1 << sb):
+        significand >>= 1
+        exponent += 1
+    if exponent > emax:
+        return FPValue.inf(eb, sb, sign)
+    return FPValue(eb, sb, "finite", sign, significand, exponent - (sb - 1))
+
+
+def _result_format(left, right):
+    if (left.eb, left.sb) != (right.eb, right.sb):
+        raise ValueError(
+            f"mixed floating-point formats: ({left.eb},{left.sb}) vs ({right.eb},{right.sb})"
+        )
+    return left.eb, left.sb
+
+
+def fp_neg(value):
+    """``fp.neg``: flips the sign bit, even of NaN and infinities."""
+    if value.is_nan:
+        return value
+    return FPValue(
+        value.eb, value.sb, value.kind, 1 - value.sign, value.significand, value.exponent
+    )
+
+
+def fp_abs(value):
+    """``fp.abs``: clears the sign bit."""
+    if value.is_nan:
+        return value
+    return FPValue(value.eb, value.sb, value.kind, 0, value.significand, value.exponent)
+
+
+def fp_add(left, right):
+    """``fp.add`` with RNE rounding."""
+    eb, sb = _result_format(left, right)
+    if left.is_nan or right.is_nan:
+        return FPValue.nan(eb, sb)
+    if left.is_inf and right.is_inf:
+        if left.sign != right.sign:
+            return FPValue.nan(eb, sb)
+        return left
+    if left.is_inf:
+        return left
+    if right.is_inf:
+        return right
+    exact = left.to_fraction() + right.to_fraction()
+    if exact == 0:
+        # IEEE: x + (-x) is +0 under RNE; -0 + -0 is -0.
+        sign = 1 if (left.sign and right.sign) else 0
+        return FPValue.zero(eb, sb, sign)
+    return fp_from_fraction(exact, eb, sb)
+
+
+def fp_sub(left, right):
+    """``fp.sub`` with RNE rounding."""
+    return fp_add(left, fp_neg(right))
+
+
+def fp_mul(left, right):
+    """``fp.mul`` with RNE rounding."""
+    eb, sb = _result_format(left, right)
+    if left.is_nan or right.is_nan:
+        return FPValue.nan(eb, sb)
+    sign = left.sign ^ right.sign
+    if left.is_inf or right.is_inf:
+        other = right if left.is_inf else left
+        if other.is_zero:
+            return FPValue.nan(eb, sb)
+        return FPValue.inf(eb, sb, sign)
+    exact = left.to_fraction() * right.to_fraction()
+    if exact == 0:
+        return FPValue.zero(eb, sb, sign)
+    return fp_from_fraction(exact, eb, sb)
+
+
+def fp_div(left, right):
+    """``fp.div`` with RNE rounding."""
+    eb, sb = _result_format(left, right)
+    if left.is_nan or right.is_nan:
+        return FPValue.nan(eb, sb)
+    sign = left.sign ^ right.sign
+    if left.is_inf and right.is_inf:
+        return FPValue.nan(eb, sb)
+    if left.is_inf:
+        return FPValue.inf(eb, sb, sign)
+    if right.is_inf:
+        return FPValue.zero(eb, sb, sign)
+    if right.is_zero:
+        if left.is_zero:
+            return FPValue.nan(eb, sb)
+        return FPValue.inf(eb, sb, sign)
+    exact = left.to_fraction() / right.to_fraction()
+    if exact == 0:
+        return FPValue.zero(eb, sb, sign)
+    return fp_from_fraction(exact, eb, sb)
+
+
+def _comparable(left, right):
+    """IEEE comparison preliminaries: NaN is unordered."""
+    return not (left.is_nan or right.is_nan)
+
+
+def _as_extended_value(value):
+    """Map to an orderable extended real (infinities become sentinels)."""
+    if value.is_inf:
+        return Fraction(0), (-1 if value.sign else 1)
+    return value.to_fraction(), 0
+
+
+def _compare(left, right):
+    """-1, 0, or +1; None when unordered (NaN)."""
+    if not _comparable(left, right):
+        return None
+    left_value, left_inf = _as_extended_value(left)
+    right_value, right_inf = _as_extended_value(right)
+    if left_inf or right_inf:
+        if left_inf == right_inf:
+            return 0 if left_inf else (-1 if left_value < right_value else (1 if left_value > right_value else 0))
+        return -1 if left_inf < right_inf else 1
+    if left_value == right_value:
+        return 0  # +0 equals -0
+    return -1 if left_value < right_value else 1
+
+
+def fp_eq(left, right):
+    """``fp.eq``: IEEE equality (NaN != NaN, +0 == -0)."""
+    return _compare(left, right) == 0
+
+
+def fp_lt(left, right):
+    comparison = _compare(left, right)
+    return comparison is not None and comparison < 0
+
+
+def fp_leq(left, right):
+    comparison = _compare(left, right)
+    return comparison is not None and comparison <= 0
+
+
+def fp_gt(left, right):
+    return fp_lt(right, left)
+
+
+def fp_geq(left, right):
+    return fp_leq(right, left)
+
+
+# ---------------------------------------------------------------------------
+# Bit-level packing (IEEE-754 interchange format)
+# ---------------------------------------------------------------------------
+
+
+def pack(value):
+    """Pack an :class:`FPValue` into its IEEE interchange bit pattern."""
+    eb, sb = value.eb, value.sb
+    bias, emin, _ = _format_params(eb, sb)
+    exponent_mask = (1 << eb) - 1
+    if value.is_nan:
+        # Canonical quiet NaN: all-ones exponent, MSB of the trailing field.
+        return (exponent_mask << (sb - 1)) | (1 << (sb - 2))
+    if value.is_inf:
+        return (value.sign << (eb + sb - 1)) | (exponent_mask << (sb - 1))
+    if value.is_zero:
+        return value.sign << (eb + sb - 1)
+    # value = significand * 2**exponent with sb-bit or subnormal significand.
+    unbiased = value.exponent + (sb - 1)
+    if unbiased >= emin and value.significand >= (1 << (sb - 1)):
+        exponent_field = unbiased + bias
+        trailing = value.significand - (1 << (sb - 1))
+    else:
+        exponent_field = 0
+        shift = emin - unbiased
+        trailing = value.significand >> shift if shift >= 0 else value.significand << -shift
+    return (value.sign << (eb + sb - 1)) | (exponent_field << (sb - 1)) | trailing
+
+
+def unpack(bits, eb, sb):
+    """Unpack an IEEE interchange bit pattern into an :class:`FPValue`."""
+    bias, emin, _ = _format_params(eb, sb)
+    trailing = bits & ((1 << (sb - 1)) - 1)
+    exponent_field = (bits >> (sb - 1)) & ((1 << eb) - 1)
+    sign = (bits >> (eb + sb - 1)) & 1
+    if exponent_field == (1 << eb) - 1:
+        if trailing:
+            return FPValue.nan(eb, sb)
+        return FPValue.inf(eb, sb, sign)
+    if exponent_field == 0:
+        if trailing == 0:
+            return FPValue.zero(eb, sb, sign)
+        return FPValue(eb, sb, "finite", sign, trailing, emin - (sb - 1))
+    significand = trailing | (1 << (sb - 1))
+    return FPValue(eb, sb, "finite", sign, significand, exponent_field - bias - (sb - 1))

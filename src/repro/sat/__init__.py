@@ -1,0 +1,26 @@
+"""CDCL SAT solving core.
+
+This is the engine underneath the bounded (bitvector) side of the theory
+arbitrage: bit-blasted constraints become CNF and are solved here.
+
+- :mod:`repro.sat.cnf` -- CNF container, fresh-variable allocation,
+  DIMACS I/O.
+- :mod:`repro.sat.solver` -- conflict-driven clause learning with
+  two-watched-literal propagation, VSIDS branching, phase saving, Luby
+  restarts, learned-clause reduction, assumptions, and a deterministic
+  work budget used for reproducible "timeouts".
+"""
+
+from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
+from repro.sat.solver import SAT, UNSAT, UNKNOWN, SatSolver, SatStats
+
+__all__ = [
+    "CNF",
+    "parse_dimacs",
+    "to_dimacs",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "SatSolver",
+    "SatStats",
+]

@@ -1,0 +1,105 @@
+"""CNF formulas in DIMACS literal convention.
+
+Variables are positive integers ``1..num_vars``; a literal is ``v`` or
+``-v``. Clauses are tuples of literals. The container also provides fresh
+variable allocation for Tseitin encoding and DIMACS import/export.
+"""
+
+from repro.errors import ParseError
+
+
+class CNF:
+    """A growable CNF formula.
+
+    Attributes:
+        clauses: list of clauses, each a tuple of non-zero ints.
+        num_vars: highest variable index allocated or mentioned.
+    """
+
+    def __init__(self, num_vars=0):
+        self.clauses = []
+        self.num_vars = num_vars
+
+    def new_var(self):
+        """Allocate and return a fresh variable index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count):
+        """Allocate ``count`` fresh variables, returned as a list."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals):
+        """Add one clause; tracks ``num_vars`` automatically.
+
+        Duplicate literals are removed; tautological clauses (containing
+        both ``v`` and ``-v``) are silently dropped.
+        """
+        seen = set()
+        clause = []
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if literal in seen:
+                continue
+            if -literal in seen:
+                return  # tautology
+            seen.add(literal)
+            clause.append(literal)
+            if abs(literal) > self.num_vars:
+                self.num_vars = abs(literal)
+        self.clauses.append(tuple(clause))
+
+    def extend(self, clause_iterable):
+        for clause in clause_iterable:
+            self.add_clause(clause)
+
+    def __len__(self):
+        return len(self.clauses)
+
+    def __repr__(self):
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def to_dimacs(cnf):
+    """Render a CNF in DIMACS ``p cnf`` format."""
+    lines = [f"p cnf {cnf.num_vars} {len(cnf.clauses)}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dimacs(text):
+    """Parse DIMACS CNF text into a :class:`CNF`."""
+    cnf = CNF()
+    declared_vars = None
+    declared_clauses = None
+    current = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ParseError(f"malformed DIMACS header: {line!r}")
+            declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                cnf.add_clause(current)
+                current = []
+            else:
+                current.append(literal)
+    if current:
+        cnf.add_clause(current)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    if declared_clauses is not None and len(cnf.clauses) > declared_clauses:
+        # Tautologies may have been dropped; fewer is fine, more is not.
+        raise ParseError(
+            f"DIMACS header declared {declared_clauses} clauses, found {len(cnf.clauses)}"
+        )
+    return cnf

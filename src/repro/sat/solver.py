@@ -1,0 +1,634 @@
+"""A conflict-driven clause learning (CDCL) SAT solver.
+
+A faithful MiniSat-style architecture in pure Python:
+
+- two-watched-literal unit propagation;
+- first-UIP conflict analysis with clause minimization;
+- VSIDS variable activities with a heap-backed variable order and phase
+  saving;
+- Luby-sequence restarts;
+- learned-clause database reduction driven by clause activity and LBD;
+- incremental solving under assumptions with final-conflict (unsat core)
+  extraction over the assumption set;
+- a deterministic work budget (propagation count) so that "timeouts" are
+  reproducible across machines -- the evaluation harness uses this as its
+  virtual clock.
+
+Literals use the DIMACS convention externally (``v`` / ``-v``) and are
+mapped internally to ``2*v`` / ``2*v+1``.
+"""
+
+from repro.errors import SolverError
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+_UNASSIGNED = -1
+
+
+def luby(index):
+    """The ``index``-th element (0-based) of the Luby restart sequence.
+
+    The sequence is 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's
+    finite-subsequence formulation).
+    """
+    size = 1
+    sequence = 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        sequence -= 1
+        index %= size
+    return 1 << sequence
+
+
+class SatStats:
+    """Work counters; ``work()`` is the deterministic virtual cost."""
+
+    __slots__ = (
+        "decisions",
+        "propagations",
+        "conflicts",
+        "restarts",
+        "learned_clauses",
+        "deleted_clauses",
+        "minimized_literals",
+    )
+
+    def __init__(self):
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned_clauses = 0
+        self.deleted_clauses = 0
+        self.minimized_literals = 0
+
+    def work(self):
+        """Deterministic virtual work: propagations dominate runtime."""
+        return self.propagations + 10 * self.conflicts + self.decisions
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _VarOrder:
+    """Max-heap over variable activities (MiniSat's VarOrder)."""
+
+    def __init__(self):
+        self.heap = []
+        self.position = {}
+
+    def _less(self, a, b, activity):
+        return activity[a] > activity[b]
+
+    def _swap(self, i, j):
+        heap = self.heap
+        heap[i], heap[j] = heap[j], heap[i]
+        self.position[heap[i]] = i
+        self.position[heap[j]] = j
+
+    def _sift_up(self, index, activity):
+        heap = self.heap
+        while index > 0:
+            parent = (index - 1) >> 1
+            if self._less(heap[index], heap[parent], activity):
+                self._swap(index, parent)
+                index = parent
+            else:
+                break
+
+    def _sift_down(self, index, activity):
+        heap = self.heap
+        size = len(heap)
+        while True:
+            left = 2 * index + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and self._less(heap[right], heap[left], activity):
+                best = right
+            if self._less(heap[best], heap[index], activity):
+                self._swap(index, best)
+                index = best
+            else:
+                break
+
+    def push(self, var, activity):
+        if var in self.position:
+            return
+        self.position[var] = len(self.heap)
+        self.heap.append(var)
+        self._sift_up(len(self.heap) - 1, activity)
+
+    def pop(self, activity):
+        heap = self.heap
+        top = heap[0]
+        last = heap.pop()
+        del self.position[top]
+        if heap:
+            heap[0] = last
+            self.position[last] = 0
+            self._sift_down(0, activity)
+        return top
+
+    def update(self, var, activity):
+        index = self.position.get(var)
+        if index is not None:
+            self._sift_up(index, activity)
+
+    def __bool__(self):
+        return bool(self.heap)
+
+
+class SatSolver:
+    """CDCL solver over a fixed variable universe.
+
+    Typical use::
+
+        solver = SatSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve(max_work=10**7)
+        if result == SAT:
+            model = solver.model()   # {var: bool}
+    """
+
+    def __init__(self, num_vars=0):
+        self.num_vars = 0
+        self._clauses = []  # problem clauses (lists of internal literals)
+        self._learned = []
+        self._watches = []  # literal -> list of clauses
+        self._assign = []  # literal -> True/False/None (value of literal)
+        self._var_value = []  # var -> _UNASSIGNED / 0 / 1
+        self._level = []
+        self._reason = []
+        self._trail = []
+        self._trail_lim = []
+        self._queue_head = 0
+        self._activity = []
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._order = _VarOrder()
+        self._phase = []
+        self._seen = []
+        self._ok = True
+        self.stats = SatStats()
+        self._conflict_budget = None
+        self._work_budget = None
+        self._final_conflict = []
+        self.grow_to(num_vars)
+
+    # -- variable / clause management -----------------------------------
+
+    def grow_to(self, num_vars):
+        """Ensure variables ``1..num_vars`` exist."""
+        while self.num_vars < num_vars:
+            self.new_var()
+
+    def new_var(self):
+        """Allocate one fresh variable; returns its index."""
+        self.num_vars += 1
+        var = self.num_vars
+        self._watches.append([])  # positive literal watch list
+        self._watches.append([])  # negative literal watch list
+        self._var_value.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        self._seen.append(False)
+        self._order.push(var - 1, self._activity)
+        return var
+
+    @staticmethod
+    def _internal(literal):
+        var = abs(literal) - 1
+        return 2 * var + (1 if literal < 0 else 0)
+
+    @staticmethod
+    def _external(internal):
+        var = (internal >> 1) + 1
+        return -var if internal & 1 else var
+
+    def _lit_value(self, internal):
+        value = self._var_value[internal >> 1]
+        if value == _UNASSIGNED:
+            return None
+        return bool(value ^ (internal & 1))
+
+    def add_clause(self, literals):
+        """Add a problem clause (DIMACS literals). Returns False if the
+        solver becomes trivially unsatisfiable."""
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            # Incremental use: drop any in-progress assignment first.
+            self._backtrack(0)
+        for literal in literals:
+            self.grow_to(abs(literal))
+        seen = set()
+        clause = []
+        for literal in literals:
+            internal = self._internal(literal)
+            if internal in seen:
+                continue
+            if internal ^ 1 in seen:
+                return True  # tautology
+            value = self._lit_value(internal)
+            if value is True:
+                return True  # already satisfied at level 0
+            if value is False:
+                continue  # falsified at level 0: drop the literal
+            seen.add(internal)
+            clause.append(internal)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
+    def _attach(self, clause):
+        self._watches[clause[0] ^ 1].append(clause)
+        self._watches[clause[1] ^ 1].append(clause)
+
+    # -- assignment and propagation --------------------------------------
+
+    def _enqueue(self, internal, reason):
+        value = self._lit_value(internal)
+        if value is not None:
+            return value
+        var = internal >> 1
+        self._var_value[var] = 0 if internal & 1 else 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(internal)
+        return True
+
+    def _propagate(self):
+        """Unit propagation. Returns the conflicting clause or None.
+
+        This is the solver's hot loop; locals are bound aggressively and
+        literal values are computed inline rather than through
+        ``_lit_value`` (worth ~2x wall time on large bit-blasted CNFs).
+        """
+        watches = self._watches
+        var_value = self._var_value
+        trail = self._trail
+        stats = self.stats
+        level_count = len(self._trail_lim)
+        level = self._level
+        reason = self._reason
+        while self._queue_head < len(trail):
+            literal = trail[self._queue_head]
+            self._queue_head += 1
+            stats.propagations += 1
+            false_literal = literal ^ 1
+            watch_list = watches[literal]
+            new_list = []
+            append_kept = new_list.append
+            index = 0
+            size = len(watch_list)
+            while index < size:
+                clause = watch_list[index]
+                index += 1
+                # Normalize: the false literal in position 1.
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                value = var_value[first >> 1]
+                # first is true?
+                if value >= 0 and bool(value ^ (first & 1)):
+                    append_kept(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    other_value = var_value[other >> 1]
+                    if other_value < 0 or bool(other_value ^ (other & 1)):
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[other ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Unit or conflicting.
+                append_kept(clause)
+                if value >= 0:  # first is false: conflict
+                    new_list.extend(watch_list[index:])
+                    watches[literal] = new_list
+                    self._queue_head = len(trail)
+                    return clause
+                # Enqueue first (inlined _enqueue for the common path).
+                first_var = first >> 1
+                var_value[first_var] = 0 if first & 1 else 1
+                level[first_var] = level_count
+                reason[first_var] = clause
+                trail.append(first)
+            watches[literal] = new_list
+        return None
+
+    # -- conflict analysis ------------------------------------------------
+
+    def _bump_var(self, var):
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for index in range(self.num_vars):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+        self._order.update(var, self._activity)
+
+    def _bump_clause(self, clause_info):
+        clause_info[1] += self._cla_inc
+        if clause_info[1] > 1e20:
+            for info in self._learned:
+                info[1] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict):
+        """First-UIP learning. Returns (learned clause, backtrack level)."""
+        learned = [None]  # slot 0 reserved for the asserting literal
+        seen = self._seen
+        counter = 0
+        literal = None
+        reason = conflict
+        index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+        to_clear = []
+
+        while True:
+            start = 0 if literal is None else 1
+            for k in range(start, len(reason)):
+                other = reason[k]
+                var = other >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(other)
+            # Select the next trail literal to resolve on.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            literal = self._trail[index]
+            index -= 1
+            var = literal >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learned[0] = literal ^ 1
+
+        # Conflict-clause minimization: drop literals implied by the rest.
+        marked = set(lit >> 1 for lit in learned[1:])
+        kept = [learned[0]]
+        for other in learned[1:]:
+            reason = self._reason[other >> 1]
+            if reason is None:
+                kept.append(other)
+                continue
+            if all(
+                (lit >> 1) in marked or self._level[lit >> 1] == 0
+                for lit in reason
+                if lit != (other ^ 1)
+            ):
+                self.stats.minimized_literals += 1
+                continue
+            kept.append(other)
+        learned = kept
+
+        for var in to_clear:
+            seen[var] = False
+
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            # Find the second-highest level and move its literal to slot 1.
+            best = 1
+            for k in range(2, len(learned)):
+                if self._level[learned[k] >> 1] > self._level[learned[best] >> 1]:
+                    best = k
+            learned[1], learned[best] = learned[best], learned[1]
+            backtrack_level = self._level[learned[1] >> 1]
+        return learned, backtrack_level
+
+    def _backtrack(self, level):
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for index in range(len(self._trail) - 1, limit - 1, -1):
+            internal = self._trail[index]
+            var = internal >> 1
+            self._phase[var] = 1 - (internal & 1)
+            self._var_value[var] = _UNASSIGNED
+            self._reason[var] = None
+            self._order.push(var, self._activity)
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # -- learned clause database -----------------------------------------
+
+    def _reduce_db(self):
+        """Remove roughly half of the inactive learned clauses."""
+        self._learned.sort(key=lambda info: info[1])
+        keep = []
+        locked = set()
+        for var in range(self.num_vars):
+            reason = self._reason[var]
+            if reason is not None:
+                locked.add(id(reason))
+        half = len(self._learned) // 2
+        for position, info in enumerate(self._learned):
+            clause = info[0]
+            if position < half and len(clause) > 2 and id(clause) not in locked:
+                self._detach(clause)
+                self.stats.deleted_clauses += 1
+            else:
+                keep.append(info)
+        self._learned = keep
+
+    def _detach(self, clause):
+        for watched in (clause[0] ^ 1, clause[1] ^ 1):
+            watch_list = self._watches[watched]
+            for index, candidate in enumerate(watch_list):
+                if candidate is clause:
+                    watch_list[index] = watch_list[-1]
+                    watch_list.pop()
+                    break
+
+    # -- main search --------------------------------------------------
+
+    def _pick_branch_literal(self):
+        while self._order:
+            var = self._order.pop(self._activity)
+            if self._var_value[var] == _UNASSIGNED:
+                return 2 * var + (1 - self._phase[var])
+        return None
+
+    def solve(self, assumptions=(), max_conflicts=None, max_work=None):
+        """Search for a model.
+
+        Args:
+            assumptions: DIMACS literals temporarily forced true.
+            max_conflicts: optional conflict budget.
+            max_work: optional deterministic work budget (see
+                :meth:`SatStats.work`).
+
+        Returns:
+            ``SAT``, ``UNSAT``, or ``UNKNOWN`` (budget exhausted).
+        """
+        if not self._ok:
+            return UNSAT
+        self._backtrack(0)  # reset any state left by a previous solve call
+        self._final_conflict = []
+        internal_assumptions = [self._internal(lit) for lit in assumptions]
+        for literal in internal_assumptions:
+            self.grow_to((literal >> 1) + 1)
+
+        base_work = self.stats.work()
+        restart_index = 0
+        conflicts_total = 0
+        conflict_limit = luby(restart_index) * 100
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_total += 1
+                if not self._trail_lim:
+                    self._ok = False
+                    return UNSAT
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    info = [learned, 0.0]
+                    self._learned.append(info)
+                    self._attach(learned)
+                    self._bump_clause(info)
+                    self.stats.learned_clauses += 1
+                    self._enqueue(learned[0], learned)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= self._cla_decay
+                if max_conflicts is not None and self.stats.conflicts >= max_conflicts:
+                    self._backtrack(0)
+                    return UNKNOWN
+                if max_work is not None and self.stats.work() - base_work >= max_work:
+                    self._backtrack(0)
+                    return UNKNOWN
+                if conflicts_total >= conflict_limit:
+                    conflicts_total = 0
+                    restart_index += 1
+                    conflict_limit = luby(restart_index) * 100
+                    self.stats.restarts += 1
+                    self._backtrack(0)
+                if self.stats.learned_clauses > 0 and len(self._learned) > max(
+                    2000, 2 * len(self._clauses)
+                ):
+                    self._reduce_db()
+                continue
+
+            # No conflict: re-apply assumptions, then decide.
+            decision = None
+            for literal in internal_assumptions[len(self._trail_lim) :]:
+                value = self._lit_value(literal)
+                if value is True:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value is False:
+                    self._analyze_final(literal)
+                    self._backtrack(0)
+                    return UNSAT
+                decision = literal
+                break
+            if decision is None:
+                decision = self._pick_branch_literal()
+                if decision is None:
+                    return SAT
+                self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+            if max_work is not None and self.stats.work() - base_work >= max_work:
+                self._backtrack(0)
+                return UNKNOWN
+
+    def _analyze_final(self, failed_literal):
+        """Compute the subset of assumptions implying ``failed_literal``'s
+        negation (the assumption-level unsat core)."""
+        core = {failed_literal ^ 1}
+        seen = set()
+        queue = [failed_literal]
+        while queue:
+            literal = queue.pop()
+            var = literal >> 1
+            if var in seen:
+                continue
+            seen.add(var)
+            reason = self._reason[var]
+            if reason is None:
+                if self._level[var] > 0:
+                    core.add(literal ^ 1)
+            else:
+                for other in reason:
+                    if (other >> 1) != var and self._level[other >> 1] > 0:
+                        queue.append(other ^ 1)
+        self._final_conflict = sorted(self._external(lit) for lit in core)
+
+    def final_conflict(self):
+        """After an assumption-driven UNSAT: the failing assumption subset
+        (negated), in DIMACS form."""
+        return list(self._final_conflict)
+
+    def model(self):
+        """The satisfying assignment as a ``{var: bool}`` dict.
+
+        Unassigned variables (possible when clauses never mention them)
+        default to False.
+        """
+        return {
+            var: (self._var_value[var - 1] == 1)
+            for var in range(1, self.num_vars + 1)
+        }
+
+    def work(self):
+        """Total deterministic work performed so far."""
+        return self.stats.work()
+
+
+def solve_cnf(cnf, assumptions=(), max_conflicts=None, max_work=None):
+    """One-shot convenience: solve a :class:`~repro.sat.cnf.CNF`.
+
+    Returns:
+        A ``(result, model, stats)`` triple; model is None unless SAT.
+    """
+    solver = SatSolver(cnf.num_vars)
+    for clause in cnf.clauses:
+        if not solver.add_clause(clause):
+            return UNSAT, None, solver.stats
+    result = solver.solve(
+        assumptions=assumptions, max_conflicts=max_conflicts, max_work=max_work
+    )
+    model = solver.model() if result == SAT else None
+    return result, model, solver.stats

@@ -1,0 +1,38 @@
+"""SLOT analogue: compiler optimizations for bounded SMT constraints.
+
+The paper's RQ2 chains STAUB with SLOT (Mikek & Zhang, ESEC/FSE 2023),
+which lowers bitvector/floating-point constraints through LLVM and runs
+standard compiler optimizations. This package reproduces the same class
+of rewrites natively on the bounded term IR:
+
+- constant folding,
+- algebraic identity simplification (InstCombine-style),
+- strength reduction (multiply/divide by powers of two become shifts),
+- commutative canonicalization + global value numbering (CSE),
+- assertion-level cleanup (dedup, drop ``true``, short-circuit ``false``).
+
+None of these passes apply to unbounded constraints -- machine-semantics
+rewrites need machine semantics -- which is exactly why STAUB "unlocks"
+them (Section 5.3).
+"""
+
+from repro.slot.passes import (
+    PASS_REGISTRY,
+    AlgebraicSimplify,
+    AssertionCleanup,
+    Canonicalize,
+    ConstantFold,
+    StrengthReduce,
+)
+from repro.slot.manager import PassManager, optimize_script
+
+__all__ = [
+    "PASS_REGISTRY",
+    "AlgebraicSimplify",
+    "AssertionCleanup",
+    "Canonicalize",
+    "ConstantFold",
+    "StrengthReduce",
+    "PassManager",
+    "optimize_script",
+]

@@ -1,0 +1,314 @@
+"""Individual optimization passes over bounded terms.
+
+Each pass is a bottom-up rewrite implemented with
+:func:`repro.smtlib.terms.map_terms`; hash-consing makes repeated
+applications cheap and gives CSE for free once operands are canonicalized.
+All passes are semantics-preserving over the bounded theory -- the
+property-based tests check every pass against the exact evaluator on
+random terms and assignments.
+"""
+
+from repro.smtlib import build
+from repro.smtlib.evaluator import _eval_node
+from repro.smtlib.sorts import BOOL
+from repro.smtlib.terms import Op, Term
+from repro.smtlib.values import BVValue
+
+
+class Pass:
+    """Base class: a named bottom-up term rewrite."""
+
+    name = "pass"
+
+    def rewrite(self, term, new_args):
+        """Return the replacement for ``term`` given rewritten args."""
+        raise NotImplementedError
+
+    def _rebuild(self, term, new_args):
+        if not term.args and not new_args:
+            return term
+        if all(a is b for a, b in zip(term.args, new_args)) and len(term.args) == len(
+            new_args
+        ):
+            return term
+        return Term(term.op, tuple(new_args), term.payload, term.sort)
+
+
+#: Operators whose results we can fold when all arguments are literals.
+_FOLDABLE = {
+    Op.NOT, Op.AND, Op.OR, Op.XOR, Op.IMPLIES, Op.ITE, Op.EQ, Op.DISTINCT,
+    Op.BVNOT, Op.BVAND, Op.BVOR, Op.BVXOR, Op.BVNEG, Op.BVADD, Op.BVSUB,
+    Op.BVMUL, Op.BVUDIV, Op.BVSDIV, Op.BVUREM, Op.BVSREM, Op.BVSMOD,
+    Op.BVSHL, Op.BVLSHR, Op.BVASHR, Op.BVULT, Op.BVULE, Op.BVUGT, Op.BVUGE,
+    Op.BVSLT, Op.BVSLE, Op.BVSGT, Op.BVSGE, Op.BVABS, Op.CONCAT, Op.EXTRACT,
+    Op.ZERO_EXTEND, Op.SIGN_EXTEND, Op.BVSADDO, Op.BVUADDO, Op.BVSSUBO,
+    Op.BVUSUBO, Op.BVSMULO, Op.BVUMULO, Op.BVSDIVO, Op.BVNEGO,
+}
+
+
+class ConstantFold(Pass):
+    """Evaluate any operator whose operands are all literals."""
+
+    name = "constant-fold"
+
+    def rewrite(self, term, new_args):
+        term = self._rebuild(term, new_args)
+        if term.op in _FOLDABLE and term.args and all(a.is_const for a in term.args):
+            value = _eval_node(term, [a.value for a in term.args])
+            return build.Const(value, term.sort)
+        return term
+
+
+def _const_unsigned(term):
+    if term.is_const and isinstance(term.value, BVValue):
+        return term.value.unsigned
+    return None
+
+
+class AlgebraicSimplify(Pass):
+    """InstCombine-style identities on bitvector and boolean terms."""
+
+    name = "algebraic-simplify"
+
+    def rewrite(self, term, new_args):
+        term = self._rebuild(term, new_args)
+        op = term.op
+        args = term.args
+        if op is Op.BVADD:
+            if _const_unsigned(args[0]) == 0:
+                return args[1]
+            if _const_unsigned(args[1]) == 0:
+                return args[0]
+        elif op is Op.BVSUB:
+            if _const_unsigned(args[1]) == 0:
+                return args[0]
+            if args[0] is args[1]:
+                return build.BitVecConst(0, term.sort.width)
+        elif op is Op.BVMUL:
+            for index in (0, 1):
+                value = _const_unsigned(args[index])
+                if value == 0:
+                    return build.BitVecConst(0, term.sort.width)
+                if value == 1:
+                    return args[1 - index]
+        elif op in (Op.BVAND, Op.BVOR, Op.BVXOR):
+            width = term.sort.width
+            ones = (1 << width) - 1
+            left_value = _const_unsigned(args[0])
+            right_value = _const_unsigned(args[1])
+            if args[0] is args[1]:
+                if op is Op.BVXOR:
+                    return build.BitVecConst(0, width)
+                return args[0]
+            for own, other in ((left_value, args[1]), (right_value, args[0])):
+                if own is None:
+                    continue
+                if op is Op.BVAND:
+                    if own == 0:
+                        return build.BitVecConst(0, width)
+                    if own == ones:
+                        return other
+                elif op is Op.BVOR:
+                    if own == 0:
+                        return other
+                    if own == ones:
+                        return build.BitVecConst(ones, width)
+                elif op is Op.BVXOR and own == 0:
+                    return other
+        elif op is Op.BVNOT:
+            if args[0].op is Op.BVNOT:
+                return args[0].args[0]
+        elif op is Op.BVNEG:
+            if args[0].op is Op.BVNEG:
+                return args[0].args[0]
+        elif op is Op.NOT:
+            if args[0].op is Op.NOT:
+                return args[0].args[0]
+            if args[0].is_const:
+                return build.BoolConst(not args[0].value)
+        elif op is Op.EQ:
+            if args[0] is args[1]:
+                return build.TRUE
+        elif op in (Op.BVULE, Op.BVSLE, Op.BVUGE, Op.BVSGE):
+            if args[0] is args[1]:
+                return build.TRUE
+        elif op in (Op.BVULT, Op.BVSLT, Op.BVUGT, Op.BVSGT):
+            if args[0] is args[1]:
+                return build.FALSE
+        elif op is Op.AND:
+            kept = []
+            for arg in term.args:
+                if arg.is_const:
+                    if not arg.value:
+                        return build.FALSE
+                    continue
+                kept.append(arg)
+            if len(kept) != len(term.args):
+                return build.And(*kept) if kept else build.TRUE
+        elif op is Op.OR:
+            kept = []
+            for arg in term.args:
+                if arg.is_const:
+                    if arg.value:
+                        return build.TRUE
+                    continue
+                kept.append(arg)
+            if len(kept) != len(term.args):
+                return build.Or(*kept) if kept else build.FALSE
+        elif op is Op.ITE:
+            if args[0].is_const:
+                return args[1] if args[0].value else args[2]
+            if args[1] is args[2]:
+                return args[1]
+        return term
+
+
+class StrengthReduce(Pass):
+    """Multiplication/division by powers of two become shifts.
+
+    Shifts by a constant are pure rewiring for the bit-blaster, while a
+    generic multiplier is a quadratic adder tree -- this is the flagship
+    compiler optimization the paper's SLOT pipeline gets from LLVM.
+    """
+
+    name = "strength-reduce"
+
+    @staticmethod
+    def _power_of_two(term):
+        value = _const_unsigned(term)
+        if value is not None and value > 1 and (value & (value - 1)) == 0:
+            return value.bit_length() - 1
+        return None
+
+    def rewrite(self, term, new_args):
+        term = self._rebuild(term, new_args)
+        op = term.op
+        if op is Op.BVMUL:
+            for index in (0, 1):
+                shift = self._power_of_two(term.args[index])
+                if shift is not None:
+                    width = term.sort.width
+                    return build.bv_binary(
+                        Op.BVSHL,
+                        term.args[1 - index],
+                        build.BitVecConst(shift, width),
+                    )
+        elif op is Op.BVUDIV:
+            shift = self._power_of_two(term.args[1])
+            if shift is not None:
+                width = term.sort.width
+                return build.bv_binary(
+                    Op.BVLSHR, term.args[0], build.BitVecConst(shift, width)
+                )
+        elif op is Op.BVUREM:
+            value = _const_unsigned(term.args[1])
+            if value is not None and value > 0 and (value & (value - 1)) == 0:
+                width = term.sort.width
+                return build.bv_binary(
+                    Op.BVAND,
+                    term.args[0],
+                    build.BitVecConst(value - 1, width),
+                )
+        return term
+
+
+#: Commutative operators canonicalized by operand identity. The
+#: commutative overflow predicates are included so that the guard pairs
+#: STAUB emits for mirrored products (bvsmulo x y / bvsmulo y x) merge.
+_COMMUTATIVE = {
+    Op.BVADD,
+    Op.BVMUL,
+    Op.BVAND,
+    Op.BVOR,
+    Op.BVXOR,
+    Op.EQ,
+    Op.BVSADDO,
+    Op.BVUADDO,
+    Op.BVSMULO,
+    Op.BVUMULO,
+}
+
+
+def _term_key(term):
+    """A deterministic content-based ordering key for canonicalization.
+
+    Using content (not tid) keeps the ordering stable across runs and
+    independent of construction order, so mirrored expressions like
+    ``x*y`` and ``y*x`` always normalize identically.
+    """
+    if term.is_const:
+        value = term.value
+        if isinstance(value, BVValue):
+            return (0, "", value.unsigned)
+        return (0, "", int(value) if not isinstance(value, bool) else int(value))
+    if term.is_var:
+        return (1, term.name, 0)
+    return (2, term.op.value, term.tid)
+
+
+class Canonicalize(Pass):
+    """Sort commutative operands; hash-consing then merges mirror terms.
+
+    This is the GVN/CSE step: after canonicalization, ``x*y`` and ``y*x``
+    are the *same* node, so the bit-blaster emits one multiplier for both.
+    """
+
+    name = "canonicalize"
+
+    def rewrite(self, term, new_args):
+        term = self._rebuild(term, new_args)
+        if term.op in _COMMUTATIVE and len(term.args) >= 2:
+            ordered = sorted(term.args, key=_term_key)
+            if ordered != list(term.args):
+                return Term(term.op, tuple(ordered), term.payload, term.sort)
+        if term.op in (Op.AND, Op.OR, Op.XOR) and len(term.args) >= 2:
+            ordered = sorted(term.args, key=_term_key)
+            # Also deduplicate idempotent operands (and/or only).
+            if term.op is not Op.XOR:
+                deduped = []
+                for arg in ordered:
+                    if not deduped or deduped[-1] is not arg:
+                        deduped.append(arg)
+                ordered = deduped
+            if len(ordered) == 1:
+                return ordered[0]
+            if ordered != list(term.args):
+                return Term(term.op, tuple(ordered), term.payload, term.sort)
+        return term
+
+
+class AssertionCleanup:
+    """Script-level pass: drop ``true`` assertions, dedup, detect ``false``.
+
+    Unlike the term passes this operates on the assertion list; it returns
+    the new list plus a flag for a literally-false assertion (the script
+    is then trivially unsat).
+    """
+
+    name = "assertion-cleanup"
+
+    def run(self, assertions):
+        seen = set()
+        kept = []
+        trivially_false = False
+        for assertion in assertions:
+            if assertion.is_const:
+                if assertion.value:
+                    continue
+                trivially_false = True
+                kept = [build.FALSE]
+                break
+            if assertion.tid in seen:
+                continue
+            seen.add(assertion.tid)
+            kept.append(assertion)
+        return kept, trivially_false
+
+
+#: Default pass order, mirroring an -O2-style pipeline.
+PASS_REGISTRY = (
+    ConstantFold,
+    AlgebraicSimplify,
+    StrengthReduce,
+    Canonicalize,
+)

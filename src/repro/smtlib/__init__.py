@@ -1,0 +1,87 @@
+"""SMT-LIB 2 front end: sorts, terms, parsing, printing, evaluation.
+
+The most commonly used names are re-exported here so client code can write
+``from repro.smtlib import Int, BitVec, parse_script``.
+"""
+
+from repro.smtlib.sorts import (
+    BOOL,
+    INT,
+    REAL,
+    BVSort,
+    FPSort,
+    Sort,
+    bv_sort,
+    fp_sort,
+)
+from repro.smtlib.terms import Op, Term
+from repro.smtlib import builders as build
+from repro.smtlib.builders import (
+    And,
+    BitVecConst,
+    BitVecVar,
+    BoolConst,
+    BoolVar,
+    Distinct,
+    Eq,
+    FALSE,
+    Implies,
+    IntConst,
+    IntVar,
+    Ite,
+    Not,
+    Or,
+    RealConst,
+    RealVar,
+    TRUE,
+    Xor,
+)
+from repro.smtlib.script import Command, Script
+from repro.smtlib.parser import parse_script, parse_term
+from repro.smtlib.printer import print_script, print_term
+from repro.smtlib.evaluator import BVValue, evaluate, evaluate_assertions
+from repro.smtlib.substitution import rename_variables, substitute, substitute_all
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "REAL",
+    "BVSort",
+    "FPSort",
+    "Sort",
+    "bv_sort",
+    "fp_sort",
+    "Op",
+    "Term",
+    "build",
+    "And",
+    "BitVecConst",
+    "BitVecVar",
+    "BoolConst",
+    "BoolVar",
+    "Distinct",
+    "Eq",
+    "FALSE",
+    "Implies",
+    "IntConst",
+    "IntVar",
+    "Ite",
+    "Not",
+    "Or",
+    "RealConst",
+    "RealVar",
+    "TRUE",
+    "Xor",
+    "Command",
+    "Script",
+    "parse_script",
+    "parse_term",
+    "print_script",
+    "print_term",
+    "BVValue",
+    "evaluate",
+    "evaluate_assertions",
+    "rename_variables",
+    "substitute",
+    "substitute_all",
+]

@@ -1,0 +1,467 @@
+"""Smart constructors for SMT terms.
+
+Every function here sort-checks its operands and returns a hash-consed
+:class:`~repro.smtlib.terms.Term`. These constructors are deliberately
+structural -- they do *not* simplify (constant folding and algebraic
+rewriting are SLOT's job in :mod:`repro.slot`), with the single exception
+of flattening directly nested ``and``/``or``, which keeps parser output
+compact.
+"""
+
+from fractions import Fraction
+
+from repro.errors import SortError
+from repro.smtlib.sorts import BOOL, INT, REAL, bv_sort
+from repro.smtlib.terms import Op, Term
+from repro.smtlib.values import BVValue, FPValue
+
+
+def _require(condition, message):
+    if not condition:
+        raise SortError(message)
+
+
+def _require_same_sort(args, context):
+    first = args[0].sort
+    for arg in args[1:]:
+        _require(
+            arg.sort is first,
+            f"{context}: mixed operand sorts {first} and {arg.sort}",
+        )
+    return first
+
+
+def _require_bool(args, context):
+    for arg in args:
+        _require(arg.sort is BOOL, f"{context}: expected Bool, got {arg.sort}")
+
+
+def _require_numeric_arith(args, context):
+    sort = _require_same_sort(args, context)
+    _require(sort.is_int or sort.is_real, f"{context}: expected Int or Real, got {sort}")
+    return sort
+
+
+def _require_bv(args, context):
+    sort = _require_same_sort(args, context)
+    _require(sort.is_bv, f"{context}: expected a bitvector, got {sort}")
+    return sort
+
+
+def _require_fp(args, context):
+    sort = _require_same_sort(args, context)
+    _require(sort.is_fp, f"{context}: expected a floating-point sort, got {sort}")
+    return sort
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+def BoolConst(value):
+    """The boolean literal ``true`` or ``false``."""
+    return Term(Op.CONST, (), bool(value), BOOL)
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def IntConst(value):
+    """An integer literal."""
+    return Term(Op.CONST, (), int(value), INT)
+
+
+def RealConst(value):
+    """A real literal, stored as an exact :class:`~fractions.Fraction`."""
+    return Term(Op.CONST, (), Fraction(value), REAL)
+
+
+def BitVecConst(value, width):
+    """A bitvector literal ``(_ bv<value> <width>)``."""
+    bv = value if isinstance(value, BVValue) else BVValue(value, width)
+    _require(bv.width == width, f"bitvector literal width mismatch: {bv.width} vs {width}")
+    return Term(Op.CONST, (), bv, bv_sort(width))
+
+
+def FPConst(value):
+    """A floating-point literal from an :class:`FPValue`."""
+    from repro.smtlib.sorts import fp_sort
+
+    _require(isinstance(value, FPValue), f"expected FPValue, got {type(value).__name__}")
+    return Term(Op.CONST, (), value, fp_sort(value.eb, value.sb))
+
+
+def Var(name, sort):
+    """A free variable (an SMT-LIB zero-arity ``declare-fun``)."""
+    _require(isinstance(name, str) and name, "variable name must be a non-empty string")
+    return Term(Op.VAR, (), name, sort)
+
+
+def BoolVar(name):
+    return Var(name, BOOL)
+
+
+def IntVar(name):
+    return Var(name, INT)
+
+
+def RealVar(name):
+    return Var(name, REAL)
+
+
+def BitVecVar(name, width):
+    return Var(name, bv_sort(width))
+
+
+def FPVar(name, eb, sb):
+    from repro.smtlib.sorts import fp_sort
+
+    return Var(name, fp_sort(eb, sb))
+
+
+def Const(value, sort):
+    """A literal of the given sort from a raw Python value."""
+    if sort is BOOL:
+        return BoolConst(value)
+    if sort is INT:
+        return IntConst(value)
+    if sort is REAL:
+        return RealConst(value)
+    if sort.is_bv:
+        return BitVecConst(value, sort.width)
+    if sort.is_fp:
+        return FPConst(value)
+    raise SortError(f"cannot build a literal of sort {sort}")
+
+
+# ---------------------------------------------------------------------------
+# Core theory
+# ---------------------------------------------------------------------------
+
+
+def Not(arg):
+    _require_bool([arg], "not")
+    return Term(Op.NOT, (arg,), None, BOOL)
+
+
+def _nary_bool(op, args, context):
+    flat = []
+    for arg in args:
+        if arg.op is op:
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    _require(len(flat) >= 1, f"{context}: needs at least one operand")
+    _require_bool(flat, context)
+    if len(flat) == 1:
+        return flat[0]
+    return Term(op, tuple(flat), None, BOOL)
+
+
+def And(*args):
+    """N-ary conjunction; nested conjunctions are flattened."""
+    if not args:
+        return TRUE
+    return _nary_bool(Op.AND, args, "and")
+
+
+def Or(*args):
+    """N-ary disjunction; nested disjunctions are flattened."""
+    if not args:
+        return FALSE
+    return _nary_bool(Op.OR, args, "or")
+
+
+def Xor(*args):
+    _require(len(args) >= 2, "xor: needs at least two operands")
+    _require_bool(args, "xor")
+    return Term(Op.XOR, tuple(args), None, BOOL)
+
+
+def Implies(antecedent, consequent):
+    _require_bool([antecedent, consequent], "=>")
+    return Term(Op.IMPLIES, (antecedent, consequent), None, BOOL)
+
+
+def Ite(condition, then_term, else_term):
+    _require_bool([condition], "ite")
+    sort = _require_same_sort([then_term, else_term], "ite branches")
+    return Term(Op.ITE, (condition, then_term, else_term), None, sort)
+
+
+def Eq(left, right):
+    _require_same_sort([left, right], "=")
+    return Term(Op.EQ, (left, right), None, BOOL)
+
+
+def Distinct(*args):
+    _require(len(args) >= 2, "distinct: needs at least two operands")
+    _require_same_sort(args, "distinct")
+    return Term(Op.DISTINCT, tuple(args), None, BOOL)
+
+
+# ---------------------------------------------------------------------------
+# Integer / real arithmetic
+# ---------------------------------------------------------------------------
+
+
+def Add(*args):
+    _require(len(args) >= 2, "+: needs at least two operands")
+    sort = _require_numeric_arith(args, "+")
+    return Term(Op.ADD, tuple(args), None, sort)
+
+
+def Sub(*args):
+    _require(len(args) >= 2, "-: needs at least two operands")
+    sort = _require_numeric_arith(args, "-")
+    return Term(Op.SUB, tuple(args), None, sort)
+
+
+def Mul(*args):
+    _require(len(args) >= 2, "*: needs at least two operands")
+    sort = _require_numeric_arith(args, "*")
+    return Term(Op.MUL, tuple(args), None, sort)
+
+
+def Neg(arg):
+    """Unary minus.
+
+    Literal operands fold into negative literals -- this is literal
+    normalization (matching how the parser reads ``(- 5)``), not algebraic
+    simplification, and it keeps print/parse round-trips identities.
+    """
+    sort = _require_numeric_arith([arg], "unary -")
+    if arg.is_const:
+        if sort is INT:
+            return IntConst(-arg.value)
+        return RealConst(-arg.value)
+    return Term(Op.NEG, (arg,), None, sort)
+
+
+def Abs(arg):
+    _require(arg.sort is INT, f"abs: expected Int, got {arg.sort}")
+    return Term(Op.ABS, (arg,), None, INT)
+
+
+def IntDiv(numerator, denominator):
+    """Euclidean integer division ``(div a b)``."""
+    _require(numerator.sort is INT and denominator.sort is INT, "div: expected Int operands")
+    return Term(Op.IDIV, (numerator, denominator), None, INT)
+
+
+def Mod(numerator, denominator):
+    _require(numerator.sort is INT and denominator.sort is INT, "mod: expected Int operands")
+    return Term(Op.MOD, (numerator, denominator), None, INT)
+
+
+def RealDiv(numerator, denominator):
+    _require(
+        numerator.sort is REAL and denominator.sort is REAL, "/: expected Real operands"
+    )
+    return Term(Op.RDIV, (numerator, denominator), None, REAL)
+
+
+def _comparison(op, left, right, context):
+    sort = _require_same_sort([left, right], context)
+    _require(sort.is_int or sort.is_real, f"{context}: expected Int or Real, got {sort}")
+    return Term(op, (left, right), None, BOOL)
+
+
+def Le(left, right):
+    return _comparison(Op.LE, left, right, "<=")
+
+
+def Lt(left, right):
+    return _comparison(Op.LT, left, right, "<")
+
+
+def Ge(left, right):
+    return _comparison(Op.GE, left, right, ">=")
+
+
+def Gt(left, right):
+    return _comparison(Op.GT, left, right, ">")
+
+
+def ToReal(arg):
+    _require(arg.sort is INT, f"to_real: expected Int, got {arg.sort}")
+    return Term(Op.TO_REAL, (arg,), None, REAL)
+
+
+def ToInt(arg):
+    _require(arg.sort is REAL, f"to_int: expected Real, got {arg.sort}")
+    return Term(Op.TO_INT, (arg,), None, INT)
+
+
+# ---------------------------------------------------------------------------
+# Bitvectors
+# ---------------------------------------------------------------------------
+
+_BV_BINARY = {
+    Op.BVAND,
+    Op.BVOR,
+    Op.BVXOR,
+    Op.BVADD,
+    Op.BVSUB,
+    Op.BVMUL,
+    Op.BVUDIV,
+    Op.BVSDIV,
+    Op.BVUREM,
+    Op.BVSREM,
+    Op.BVSMOD,
+    Op.BVSHL,
+    Op.BVLSHR,
+    Op.BVASHR,
+}
+
+_BV_COMPARE = {
+    Op.BVULT,
+    Op.BVULE,
+    Op.BVUGT,
+    Op.BVUGE,
+    Op.BVSLT,
+    Op.BVSLE,
+    Op.BVSGT,
+    Op.BVSGE,
+}
+
+_BV_OVERFLOW = {
+    Op.BVSADDO,
+    Op.BVUADDO,
+    Op.BVSSUBO,
+    Op.BVUSUBO,
+    Op.BVSMULO,
+    Op.BVUMULO,
+    Op.BVSDIVO,
+}
+
+
+def bv_binary(op, left, right):
+    """A binary bitvector operation of the given :class:`Op`."""
+    _require(op in _BV_BINARY, f"{op} is not a binary bitvector operator")
+    sort = _require_bv([left, right], op.value)
+    return Term(op, (left, right), None, sort)
+
+
+def bv_compare(op, left, right):
+    """A bitvector comparison predicate of the given :class:`Op`."""
+    _require(op in _BV_COMPARE, f"{op} is not a bitvector comparison")
+    _require_bv([left, right], op.value)
+    return Term(op, (left, right), None, BOOL)
+
+
+def bv_overflow(op, left, right):
+    """A binary overflow predicate such as ``bvsmulo``."""
+    _require(op in _BV_OVERFLOW, f"{op} is not an overflow predicate")
+    _require_bv([left, right], op.value)
+    return Term(op, (left, right), None, BOOL)
+
+
+def BVNot(arg):
+    sort = _require_bv([arg], "bvnot")
+    return Term(Op.BVNOT, (arg,), None, sort)
+
+
+def BVNeg(arg):
+    sort = _require_bv([arg], "bvneg")
+    return Term(Op.BVNEG, (arg,), None, sort)
+
+
+def BVAbs(arg):
+    sort = _require_bv([arg], "bvabs")
+    return Term(Op.BVABS, (arg,), None, sort)
+
+
+def BVNegO(arg):
+    _require_bv([arg], "bvnego")
+    return Term(Op.BVNEGO, (arg,), None, BOOL)
+
+
+def BVAdd(left, right):
+    return bv_binary(Op.BVADD, left, right)
+
+
+def BVSub(left, right):
+    return bv_binary(Op.BVSUB, left, right)
+
+
+def BVMul(left, right):
+    return bv_binary(Op.BVMUL, left, right)
+
+
+def BVSDiv(left, right):
+    return bv_binary(Op.BVSDIV, left, right)
+
+
+def Concat(high, low):
+    _require(high.sort.is_bv and low.sort.is_bv, "concat: expected bitvectors")
+    return Term(Op.CONCAT, (high, low), None, bv_sort(high.sort.width + low.sort.width))
+
+
+def Extract(hi, lo, arg):
+    _require(arg.sort.is_bv, f"extract: expected a bitvector, got {arg.sort}")
+    _require(
+        0 <= lo <= hi < arg.sort.width,
+        f"extract: bad indices [{hi}:{lo}] for width {arg.sort.width}",
+    )
+    return Term(Op.EXTRACT, (arg,), (hi, lo), bv_sort(hi - lo + 1))
+
+
+def ZeroExtend(extra, arg):
+    _require(arg.sort.is_bv, "zero_extend: expected a bitvector")
+    _require(extra >= 0, "zero_extend: negative extension")
+    if extra == 0:
+        return arg
+    return Term(Op.ZERO_EXTEND, (arg,), extra, bv_sort(arg.sort.width + extra))
+
+
+def SignExtend(extra, arg):
+    _require(arg.sort.is_bv, "sign_extend: expected a bitvector")
+    _require(extra >= 0, "sign_extend: negative extension")
+    if extra == 0:
+        return arg
+    return Term(Op.SIGN_EXTEND, (arg,), extra, bv_sort(arg.sort.width + extra))
+
+
+# ---------------------------------------------------------------------------
+# Floating point
+# ---------------------------------------------------------------------------
+
+_FP_BINARY = {Op.FP_ADD, Op.FP_SUB, Op.FP_MUL, Op.FP_DIV}
+_FP_COMPARE = {Op.FP_LEQ, Op.FP_LT, Op.FP_GEQ, Op.FP_GT, Op.FP_EQ}
+
+
+def fp_binary(op, left, right):
+    """A binary floating-point arithmetic operation (RNE rounding)."""
+    _require(op in _FP_BINARY, f"{op} is not a binary floating-point operator")
+    sort = _require_fp([left, right], op.value)
+    return Term(op, (left, right), None, sort)
+
+
+def fp_compare(op, left, right):
+    """A floating-point comparison predicate."""
+    _require(op in _FP_COMPARE, f"{op} is not a floating-point comparison")
+    _require_fp([left, right], op.value)
+    return Term(op, (left, right), None, BOOL)
+
+
+def FPNeg(arg):
+    sort = _require_fp([arg], "fp.neg")
+    return Term(Op.FP_NEG, (arg,), None, sort)
+
+
+def FPAbs(arg):
+    sort = _require_fp([arg], "fp.abs")
+    return Term(Op.FP_ABS, (arg,), None, sort)
+
+
+def FPIsNaN(arg):
+    _require_fp([arg], "fp.isNaN")
+    return Term(Op.FP_IS_NAN, (arg,), None, BOOL)
+
+
+def FPIsInf(arg):
+    _require_fp([arg], "fp.isInfinite")
+    return Term(Op.FP_IS_INF, (arg,), None, BOOL)

@@ -1,0 +1,313 @@
+"""Exact evaluation of terms under a variable assignment.
+
+This is the semantic ground truth of the whole reproduction: STAUB's
+verification step (Section 4.4 of the paper) re-checks every candidate
+model produced by the bounded solver against the *original* constraint
+using this evaluator's exact integer/rational arithmetic.
+
+Division is made total so that solver and evaluator agree on a single
+interpretation: ``(div x 0) = 0``, ``(mod x 0) = x``, ``(/ x 0) = 0``.
+SMT-LIB leaves these applications unspecified, so any fixed interpretation
+is standard-compliant; all components of this package use this one.
+
+Bitvector operations follow SMT-LIB semantics exactly, including the
+division-by-zero conventions (``bvudiv x 0`` is all-ones, ``bvurem x 0``
+is ``x``) and the overflow predicates used by the paper's transformation.
+"""
+
+from fractions import Fraction
+
+from repro.errors import EvaluationError
+from repro.fp import softfloat
+from repro.smtlib.sorts import BOOL, INT, REAL
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue, FPValue
+
+
+def euclidean_divmod(numerator, denominator):
+    """SMT-LIB integer division: remainder is always in ``[0, |b|)``."""
+    if denominator == 0:
+        return 0, numerator
+    remainder = numerator % abs(denominator)
+    quotient = (numerator - remainder) // denominator
+    return quotient, remainder
+
+
+def _bv_sdiv(left, right, width):
+    """Signed bitvector division, truncating toward zero."""
+    if right.unsigned == 0:
+        # SMT-LIB: bvsdiv by zero is bvneg for negative, all-ones otherwise.
+        return BVValue(1, width) if left.signed < 0 else BVValue(-1, width)
+    quotient = abs(left.signed) // abs(right.signed)
+    if (left.signed < 0) != (right.signed < 0):
+        quotient = -quotient
+    return BVValue(quotient, width)
+
+
+def _bv_srem(left, right, width):
+    """Signed remainder; sign follows the dividend."""
+    if right.unsigned == 0:
+        return left
+    remainder = abs(left.signed) % abs(right.signed)
+    if left.signed < 0:
+        remainder = -remainder
+    return BVValue(remainder, width)
+
+
+def _bv_smod(left, right, width):
+    """Signed modulo; sign follows the divisor."""
+    if right.unsigned == 0:
+        return left
+    remainder = left.signed % right.signed  # Python % follows divisor sign
+    return BVValue(remainder, width)
+
+
+def _bv_shift_amount(value, width):
+    """Clamp a shift amount; shifting by >= width zeroes (or sign-fills)."""
+    return min(value.unsigned, width)
+
+
+def _eval_bv(op, args, payload):
+    left = args[0]
+    width = left.width
+    if op is Op.BVNOT:
+        return BVValue(~left.unsigned, width)
+    if op is Op.BVNEG:
+        return BVValue(-left.signed, width)
+    if op is Op.BVABS:
+        return BVValue(abs(left.signed), width)
+    if op is Op.BVNEGO:
+        return left.signed == -(1 << (width - 1))
+    if op is Op.EXTRACT:
+        hi, lo = payload
+        return BVValue(left.unsigned >> lo, hi - lo + 1)
+    if op is Op.ZERO_EXTEND:
+        return BVValue(left.unsigned, width + payload)
+    if op is Op.SIGN_EXTEND:
+        return BVValue(left.signed, width + payload)
+
+    right = args[1]
+    if op is Op.BVAND:
+        return BVValue(left.unsigned & right.unsigned, width)
+    if op is Op.BVOR:
+        return BVValue(left.unsigned | right.unsigned, width)
+    if op is Op.BVXOR:
+        return BVValue(left.unsigned ^ right.unsigned, width)
+    if op is Op.BVADD:
+        return BVValue(left.unsigned + right.unsigned, width)
+    if op is Op.BVSUB:
+        return BVValue(left.unsigned - right.unsigned, width)
+    if op is Op.BVMUL:
+        return BVValue(left.unsigned * right.unsigned, width)
+    if op is Op.BVUDIV:
+        if right.unsigned == 0:
+            return BVValue(-1, width)
+        return BVValue(left.unsigned // right.unsigned, width)
+    if op is Op.BVUREM:
+        if right.unsigned == 0:
+            return left
+        return BVValue(left.unsigned % right.unsigned, width)
+    if op is Op.BVSDIV:
+        return _bv_sdiv(left, right, width)
+    if op is Op.BVSREM:
+        return _bv_srem(left, right, width)
+    if op is Op.BVSMOD:
+        return _bv_smod(left, right, width)
+    if op is Op.BVSHL:
+        return BVValue(left.unsigned << _bv_shift_amount(right, width), width)
+    if op is Op.BVLSHR:
+        return BVValue(left.unsigned >> _bv_shift_amount(right, width), width)
+    if op is Op.BVASHR:
+        return BVValue(left.signed >> _bv_shift_amount(right, width), width)
+    if op is Op.CONCAT:
+        return BVValue((left.unsigned << right.width) | right.unsigned, width + right.width)
+    if op is Op.BVULT:
+        return left.unsigned < right.unsigned
+    if op is Op.BVULE:
+        return left.unsigned <= right.unsigned
+    if op is Op.BVUGT:
+        return left.unsigned > right.unsigned
+    if op is Op.BVUGE:
+        return left.unsigned >= right.unsigned
+    if op is Op.BVSLT:
+        return left.signed < right.signed
+    if op is Op.BVSLE:
+        return left.signed <= right.signed
+    if op is Op.BVSGT:
+        return left.signed > right.signed
+    if op is Op.BVSGE:
+        return left.signed >= right.signed
+
+    half = 1 << (width - 1)
+    if op is Op.BVSADDO:
+        total = left.signed + right.signed
+        return not (-half <= total < half)
+    if op is Op.BVUADDO:
+        return left.unsigned + right.unsigned >= (1 << width)
+    if op is Op.BVSSUBO:
+        total = left.signed - right.signed
+        return not (-half <= total < half)
+    if op is Op.BVUSUBO:
+        return left.unsigned < right.unsigned
+    if op is Op.BVSMULO:
+        total = left.signed * right.signed
+        return not (-half <= total < half)
+    if op is Op.BVUMULO:
+        return left.unsigned * right.unsigned >= (1 << width)
+    if op is Op.BVSDIVO:
+        return left.signed == -half and right.signed == -1
+    raise EvaluationError(f"unhandled bitvector operator {op}")
+
+
+# Function *names* rather than function objects: repro.fp.softfloat also
+# imports this package (for FPValue), so at import time the softfloat
+# module may only be partially initialized. Resolving lazily breaks the
+# cycle; FP operations are rare enough that the getattr is immaterial.
+_FP_BINARY_EVAL = {
+    Op.FP_ADD: "fp_add",
+    Op.FP_SUB: "fp_sub",
+    Op.FP_MUL: "fp_mul",
+    Op.FP_DIV: "fp_div",
+}
+
+_FP_COMPARE_EVAL = {
+    Op.FP_LEQ: "fp_leq",
+    Op.FP_LT: "fp_lt",
+    Op.FP_GEQ: "fp_geq",
+    Op.FP_GT: "fp_gt",
+    Op.FP_EQ: "fp_eq",
+}
+
+
+def _eval_node(term, args):
+    """Evaluate one node given already evaluated argument values."""
+    op = term.op
+    if op is Op.CONST:
+        return term.value
+    if op is Op.NOT:
+        return not args[0]
+    if op is Op.AND:
+        return all(args)
+    if op is Op.OR:
+        return any(args)
+    if op is Op.XOR:
+        result = False
+        for value in args:
+            result ^= value
+        return result
+    if op is Op.IMPLIES:
+        return (not args[0]) or args[1]
+    if op is Op.ITE:
+        return args[1] if args[0] else args[2]
+    if op is Op.EQ:
+        # SMT-LIB `=` is identity of the datatype: for FP, NaN = NaN holds
+        # and +0 /= -0, which is exactly FPValue's structural equality.
+        # IEEE `fp.eq` (where NaN != NaN, +0 == -0) is a separate operator.
+        return args[0] == args[1]
+    if op is Op.DISTINCT:
+        return len(set(_hashable(v) for v in args)) == len(args)
+    if op is Op.ADD:
+        return sum(args[1:], args[0])
+    if op is Op.SUB:
+        result = args[0]
+        for value in args[1:]:
+            result = result - value
+        return result
+    if op is Op.MUL:
+        result = args[0]
+        for value in args[1:]:
+            result = result * value
+        return result
+    if op is Op.NEG:
+        return -args[0]
+    if op is Op.ABS:
+        return abs(args[0])
+    if op is Op.IDIV:
+        quotient, _ = euclidean_divmod(args[0], args[1])
+        return quotient
+    if op is Op.MOD:
+        _, remainder = euclidean_divmod(args[0], args[1])
+        return remainder
+    if op is Op.RDIV:
+        if args[1] == 0:
+            return Fraction(0)
+        return Fraction(args[0]) / Fraction(args[1])
+    if op is Op.LE:
+        return args[0] <= args[1]
+    if op is Op.LT:
+        return args[0] < args[1]
+    if op is Op.GE:
+        return args[0] >= args[1]
+    if op is Op.GT:
+        return args[0] > args[1]
+    if op is Op.TO_REAL:
+        return Fraction(args[0])
+    if op is Op.TO_INT:
+        return args[0].numerator // args[0].denominator  # floor
+    if op in _FP_BINARY_EVAL:
+        return getattr(softfloat, _FP_BINARY_EVAL[op])(args[0], args[1])
+    if op in _FP_COMPARE_EVAL:
+        return getattr(softfloat, _FP_COMPARE_EVAL[op])(args[0], args[1])
+    if op is Op.FP_NEG:
+        return softfloat.fp_neg(args[0])
+    if op is Op.FP_ABS:
+        return softfloat.fp_abs(args[0])
+    if op is Op.FP_IS_NAN:
+        return args[0].is_nan
+    if op is Op.FP_IS_INF:
+        return args[0].is_inf
+    if args and isinstance(args[0], BVValue):
+        return _eval_bv(op, args, term.payload)
+    raise EvaluationError(f"unhandled operator {op}")
+
+
+def _hashable(value):
+    return value
+
+
+def _check_assignment_value(name, sort, value):
+    if sort is BOOL and not isinstance(value, bool):
+        raise EvaluationError(f"{name}: expected bool, got {value!r}")
+    if sort is INT and (isinstance(value, bool) or not isinstance(value, int)):
+        raise EvaluationError(f"{name}: expected int, got {value!r}")
+    if sort is REAL and (
+        isinstance(value, bool) or not isinstance(value, (int, Fraction))
+    ):
+        raise EvaluationError(f"{name}: expected Fraction, got {value!r}")
+    if sort.is_bv and not (isinstance(value, BVValue) and value.width == sort.width):
+        raise EvaluationError(f"{name}: expected width-{sort.width} BVValue, got {value!r}")
+    if sort.is_fp and not isinstance(value, FPValue):
+        raise EvaluationError(f"{name}: expected FPValue, got {value!r}")
+
+
+def evaluate(term, assignment):
+    """Evaluate a term under ``assignment`` (a name -> value mapping).
+
+    Values must match the variable sorts: Python ``bool``/``int``/
+    ``Fraction`` for Bool/Int/Real and :class:`BVValue`/:class:`FPValue`
+    for the bounded sorts. Real-sorted variables may also be plain ints.
+
+    Returns:
+        The term's value in the same representation.
+
+    Raises:
+        EvaluationError: a variable is missing or has a wrong-sort value.
+    """
+    memo = {}
+    for sub in term.subterms():
+        if sub.is_var:
+            if sub.name not in assignment:
+                raise EvaluationError(f"no value for variable {sub.name!r}")
+            value = assignment[sub.name]
+            _check_assignment_value(sub.name, sub.sort, value)
+            if sub.sort is REAL:
+                value = Fraction(value)
+            memo[sub.tid] = value
+        else:
+            memo[sub.tid] = _eval_node(sub, [memo[a.tid] for a in sub.args])
+    return memo[term.tid]
+
+
+def evaluate_assertions(assertions, assignment):
+    """True iff every assertion evaluates to true under the assignment."""
+    return all(evaluate(assertion, assignment) is True for assertion in assertions)

@@ -1,0 +1,134 @@
+"""Tokenizer for SMT-LIB 2 concrete syntax.
+
+Produces a flat token stream; grouping into s-expressions happens in the
+parser. Comments (``;`` to end of line) are skipped. Quoted symbols
+(``|...|``) and string literals (``"..."``) are supported because SMT-LIB
+benchmark headers routinely contain them.
+"""
+
+from repro.errors import ParseError
+
+#: Token kinds.
+LPAREN = "lparen"
+RPAREN = "rparen"
+SYMBOL = "symbol"
+KEYWORD = "keyword"
+NUMERAL = "numeral"
+DECIMAL = "decimal"
+STRING = "string"
+
+_SYMBOL_EXTRA = set("~!@$%^&*_-+=<>.?/")
+
+
+class Token:
+    """A single lexical token with source position for error reporting."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind, text, line, column):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(text):
+    """Tokenize SMT-LIB source text into a list of :class:`Token`."""
+    tokens = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def advance(count):
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if char == ";":
+            while index < length and text[index] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if char == "(":
+            tokens.append(Token(LPAREN, "(", start_line, start_column))
+            advance(1)
+            continue
+        if char == ")":
+            tokens.append(Token(RPAREN, ")", start_line, start_column))
+            advance(1)
+            continue
+        if char == "|":
+            end = text.find("|", index + 1)
+            if end < 0:
+                raise ParseError("unterminated quoted symbol", start_line, start_column)
+            tokens.append(Token(SYMBOL, text[index + 1 : end], start_line, start_column))
+            advance(end + 1 - index)
+            continue
+        if char == '"':
+            # SMT-LIB strings escape '"' by doubling it.
+            pieces = []
+            cursor = index + 1
+            while True:
+                end = text.find('"', cursor)
+                if end < 0:
+                    raise ParseError("unterminated string literal", start_line, start_column)
+                pieces.append(text[cursor:end])
+                if end + 1 < length and text[end + 1] == '"':
+                    pieces.append('"')
+                    cursor = end + 2
+                else:
+                    cursor = end + 1
+                    break
+            tokens.append(Token(STRING, "".join(pieces), start_line, start_column))
+            advance(cursor - index)
+            continue
+        if char == ":":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] in _SYMBOL_EXTRA):
+                end += 1
+            tokens.append(Token(KEYWORD, text[index:end], start_line, start_column))
+            advance(end - index)
+            continue
+        if char.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            word = text[index:end]
+            kind = DECIMAL if seen_dot else NUMERAL
+            tokens.append(Token(kind, word, start_line, start_column))
+            advance(end - index)
+            continue
+        if char.isalpha() or char in _SYMBOL_EXTRA or char == "#":
+            end = index
+            if char == "#":
+                # Binary (#b1010) or hexadecimal (#xff) bitvector literal.
+                end = index + 2
+                while end < length and (text[end].isalnum()):
+                    end += 1
+                tokens.append(Token(SYMBOL, text[index:end], start_line, start_column))
+                advance(end - index)
+                continue
+            while end < length and (text[end].isalnum() or text[end] in _SYMBOL_EXTRA):
+                end += 1
+            tokens.append(Token(SYMBOL, text[index:end], start_line, start_column))
+            advance(end - index)
+            continue
+        raise ParseError(f"unexpected character {char!r}", start_line, start_column)
+    return tokens

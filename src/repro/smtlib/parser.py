@@ -1,0 +1,545 @@
+"""Parser for the supported SMT-LIB 2 fragment.
+
+Two layers: an s-expression reader over the token stream, then an
+interpreter that turns s-expressions into :class:`~repro.smtlib.script.Script`
+commands and :class:`~repro.smtlib.terms.Term` objects.
+
+Supported commands: ``set-logic``, ``set-info``, ``set-option`` (ignored),
+``declare-fun`` (zero arity), ``declare-const``, ``define-fun`` (expanded
+as a macro), ``assert``, ``check-sat``, ``get-model``, ``exit``.
+
+Supported term syntax covers the quantifier-free Core, Int, Real, BV, and
+FP fragments the paper uses, including indexed identifiers such as
+``(_ bv855 12)`` and ``((_ extract 11 0) x)``, plus ``let`` bindings.
+"""
+
+from fractions import Fraction
+
+from repro.errors import ParseError, SmtLibError
+from repro.smtlib import builders as build
+from repro.smtlib.lexer import (
+    DECIMAL,
+    KEYWORD,
+    LPAREN,
+    NUMERAL,
+    RPAREN,
+    STRING,
+    SYMBOL,
+    tokenize,
+)
+from repro.smtlib.script import Command, Script
+from repro.smtlib.sorts import BOOL, INT, REAL, bv_sort, fp_sort
+from repro.smtlib.terms import Op
+from repro.smtlib.values import FPValue
+
+
+class SExpr:
+    """A parenthesized group of tokens and sub-groups."""
+
+    __slots__ = ("items", "line", "column")
+
+    def __init__(self, items, line, column):
+        self.items = items
+        self.line = line
+        self.column = column
+
+
+def _read_sexprs(tokens):
+    """Group a token list into a list of top-level s-expressions."""
+    result = []
+    stack = []
+    for token in tokens:
+        if token.kind == LPAREN:
+            stack.append(SExpr([], token.line, token.column))
+        elif token.kind == RPAREN:
+            if not stack:
+                raise ParseError("unbalanced ')'", token.line, token.column)
+            done = stack.pop()
+            if stack:
+                stack[-1].items.append(done)
+            else:
+                result.append(done)
+        else:
+            if stack:
+                stack[-1].items.append(token)
+            else:
+                result.append(token)
+    if stack:
+        raise ParseError("unbalanced '('", stack[-1].line, stack[-1].column)
+    return result
+
+
+def _is_symbol(node, text=None):
+    return (
+        not isinstance(node, SExpr)
+        and node.kind == SYMBOL
+        and (text is None or node.text == text)
+    )
+
+
+class _TermParser:
+    """Turns term s-expressions into hash-consed terms."""
+
+    def __init__(self, declarations, macros):
+        self._declarations = declarations
+        self._macros = macros
+
+    # -- entry point ---------------------------------------------------
+
+    def parse(self, node, env=None):
+        env = env or {}
+        return self._term(node, env)
+
+    # -- helpers -------------------------------------------------------
+
+    def _error(self, message, node):
+        line = getattr(node, "line", None)
+        column = getattr(node, "column", None)
+        raise ParseError(message, line, column)
+
+    def _term(self, node, env):
+        if isinstance(node, SExpr):
+            return self._application(node, env)
+        return self._atom(node, env)
+
+    def _atom(self, token, env):
+        if token.kind == NUMERAL:
+            return build.IntConst(int(token.text))
+        if token.kind == DECIMAL:
+            whole, _, frac = token.text.partition(".")
+            denominator = 10 ** len(frac)
+            return build.RealConst(Fraction(int(whole) * denominator + int(frac or 0), denominator))
+        if token.kind == SYMBOL:
+            text = token.text
+            if text == "true":
+                return build.TRUE
+            if text == "false":
+                return build.FALSE
+            if len(text) > 1 and text[0] == "-" and text[1:].isdigit():
+                # Strict SMT-LIB writes (- 5); accept the common -5 too.
+                return build.IntConst(int(text))
+            if text.startswith("#b"):
+                bits = text[2:]
+                return build.BitVecConst(int(bits, 2), len(bits))
+            if text.startswith("#x"):
+                digits = text[2:]
+                return build.BitVecConst(int(digits, 16), 4 * len(digits))
+            if text in env:
+                return env[text]
+            if text in self._macros:
+                params, body = self._macros[text]
+                if params:
+                    self._error(f"macro {text} expects {len(params)} arguments", token)
+                return body
+            sort = self._declarations.get(text)
+            if sort is None:
+                self._error(f"undeclared symbol {text!r}", token)
+            return build.Var(text, sort)
+        self._error(f"unexpected token {token.text!r} in term", token)
+
+    # -- indexed identifiers -------------------------------------------
+
+    def _indexed_literal(self, node):
+        """Handle ``(_ bvN w)``, ``(_ +oo eb sb)`` and friends.
+
+        Returns a term, or None if the indexed form is an operator head
+        (like ``(_ extract h l)``) rather than a literal.
+        """
+        items = node.items
+        head = items[1].text
+        if head.startswith("bv") and head[2:].isdigit():
+            width = int(items[2].text)
+            return build.BitVecConst(int(head[2:]), width)
+        if head in ("+oo", "-oo", "+zero", "-zero", "NaN"):
+            eb = int(items[2].text)
+            sb = int(items[3].text)
+            sign = 1 if head.startswith("-") else 0
+            if head == "NaN":
+                return build.FPConst(FPValue.nan(eb, sb))
+            if head.endswith("oo"):
+                return build.FPConst(FPValue.inf(eb, sb, sign))
+            return build.FPConst(FPValue.zero(eb, sb, sign))
+        return None
+
+    def _application(self, node, env):
+        items = node.items
+        if not items:
+            self._error("empty application", node)
+        head = items[0]
+
+        # Indexed literal or indexed operator in head position.
+        if _is_symbol(head, "_"):
+            literal = self._indexed_literal(node)
+            if literal is not None:
+                return literal
+            self._error(f"unsupported indexed identifier {items[1].text!r}", node)
+
+        if isinstance(head, SExpr):
+            return self._indexed_application(node, env)
+
+        name = head.text
+        if name == "let":
+            return self._let(node, env)
+        if name in self._macros:
+            return self._macro_call(name, items[1:], env, node)
+        args = [self._term(item, env) for item in items[1:]]
+        return self._dispatch(name, args, node)
+
+    def _indexed_application(self, node, env):
+        inner = node.items[0]
+        if not (inner.items and _is_symbol(inner.items[0], "_")):
+            self._error("expected an indexed operator", node)
+        op_name = inner.items[1].text
+        args = [self._term(item, env) for item in node.items[1:]]
+        if op_name == "extract":
+            hi = int(inner.items[2].text)
+            lo = int(inner.items[3].text)
+            return build.Extract(hi, lo, args[0])
+        if op_name == "zero_extend":
+            return build.ZeroExtend(int(inner.items[2].text), args[0])
+        if op_name == "sign_extend":
+            return build.SignExtend(int(inner.items[2].text), args[0])
+        if op_name == "to_fp":
+            # ((_ to_fp eb sb) RNE <real literal>) -- only literal args,
+            # which is what our own printer emits.
+            eb = int(inner.items[2].text)
+            sb = int(inner.items[3].text)
+            value_term = args[-1]
+            if not value_term.is_const:
+                self._error("to_fp is only supported on literals", node)
+            from repro.fp.softfloat import fp_from_fraction
+
+            return build.FPConst(fp_from_fraction(Fraction(value_term.value), eb, sb))
+        self._error(f"unsupported indexed operator {op_name!r}", node)
+
+    def _let(self, node, env):
+        if len(node.items) != 3 or not isinstance(node.items[1], SExpr):
+            self._error("malformed let", node)
+        new_env = dict(env)
+        for binding in node.items[1].items:
+            if not isinstance(binding, SExpr) or len(binding.items) != 2:
+                self._error("malformed let binding", node)
+            name = binding.items[0].text
+            # Parallel let: bindings see the outer environment.
+            new_env[name] = self._term(binding.items[1], env)
+        return self._term(node.items[2], new_env)
+
+    def _macro_call(self, name, arg_nodes, env, node):
+        params, body = self._macros[name]
+        if len(arg_nodes) != len(params):
+            self._error(
+                f"macro {name} expects {len(params)} arguments, got {len(arg_nodes)}", node
+            )
+        values = {
+            param: self._term(arg, env) for param, arg in zip(params, arg_nodes)
+        }
+        from repro.smtlib.terms import map_terms
+
+        def substitute(term, new_args):
+            if term.is_var and term.name in values:
+                return values[term.name]
+            if not term.args:
+                return term
+            from repro.smtlib.terms import Term
+
+            return Term(term.op, tuple(new_args), term.payload, term.sort)
+
+        return map_terms([body], substitute)[0]
+
+    # -- operator dispatch ----------------------------------------------
+
+    def _dispatch(self, name, args, node):
+        try:
+            return self._dispatch_checked(name, args, node)
+        except SmtLibError:
+            raise
+        except (ValueError, TypeError) as exc:
+            self._error(f"bad application of {name}: {exc}", node)
+
+    def _dispatch_checked(self, name, args, node):
+        if name == "not":
+            return build.Not(args[0])
+        if name == "and":
+            return build.And(*args)
+        if name == "or":
+            return build.Or(*args)
+        if name == "xor":
+            return build.Xor(*args)
+        if name == "=>":
+            result = args[-1]
+            for antecedent in reversed(args[:-1]):
+                result = build.Implies(antecedent, result)
+            return result
+        if name == "ite":
+            return build.Ite(args[0], args[1], args[2])
+        if name == "=":
+            if len(args) == 2:
+                return build.Eq(args[0], args[1])
+            return build.And(*[build.Eq(a, b) for a, b in zip(args, args[1:])])
+        if name == "distinct":
+            return build.Distinct(*args)
+        if name == "+":
+            return build.Add(*args)
+        if name == "-":
+            if len(args) == 1:
+                return self._negate(args[0])
+            return build.Sub(*args)
+        if name == "*":
+            return build.Mul(*args)
+        if name == "abs":
+            return build.Abs(args[0])
+        if name == "div":
+            return build.IntDiv(args[0], args[1])
+        if name == "mod":
+            return build.Mod(args[0], args[1])
+        if name == "/":
+            left, right = args
+            # SMT-LIB allows integer numerals inside real division.
+            if left.sort is INT and left.is_const:
+                left = build.RealConst(left.value)
+            if right.sort is INT and right.is_const:
+                right = build.RealConst(right.value)
+            return build.RealDiv(left, right)
+        if name in ("<=", "<", ">=", ">"):
+            builder = {
+                "<=": build.Le,
+                "<": build.Lt,
+                ">=": build.Ge,
+                ">": build.Gt,
+            }[name]
+            args = self._coerce_mixed(args)
+            if len(args) == 2:
+                return builder(args[0], args[1])
+            return build.And(*[builder(a, b) for a, b in zip(args, args[1:])])
+        if name == "to_real":
+            return build.ToReal(args[0])
+        if name == "to_int":
+            return build.ToInt(args[0])
+        bv_result = self._dispatch_bv(name, args)
+        if bv_result is not None:
+            return bv_result
+        fp_result = self._dispatch_fp(name, args)
+        if fp_result is not None:
+            return fp_result
+        self._error(f"unknown operator {name!r}", node)
+
+    def _negate(self, arg):
+        """Unary minus; folds literals so printing round-trips exactly."""
+        if arg.is_const and arg.sort is INT:
+            return build.IntConst(-arg.value)
+        if arg.is_const and arg.sort is REAL:
+            return build.RealConst(-arg.value)
+        return build.Neg(arg)
+
+    def _coerce_mixed(self, args):
+        """Promote integer literals in real comparisons, per SMT-LIB."""
+        if any(a.sort is REAL for a in args) and any(a.sort is INT for a in args):
+            promoted = []
+            for arg in args:
+                if arg.sort is INT and arg.is_const:
+                    promoted.append(build.RealConst(arg.value))
+                elif arg.sort is INT:
+                    promoted.append(build.ToReal(arg))
+                else:
+                    promoted.append(arg)
+            return promoted
+        return args
+
+    _BV_BINARY_NAMES = {
+        "bvand": Op.BVAND,
+        "bvor": Op.BVOR,
+        "bvxor": Op.BVXOR,
+        "bvadd": Op.BVADD,
+        "bvsub": Op.BVSUB,
+        "bvmul": Op.BVMUL,
+        "bvudiv": Op.BVUDIV,
+        "bvsdiv": Op.BVSDIV,
+        "bvurem": Op.BVUREM,
+        "bvsrem": Op.BVSREM,
+        "bvsmod": Op.BVSMOD,
+        "bvshl": Op.BVSHL,
+        "bvlshr": Op.BVLSHR,
+        "bvashr": Op.BVASHR,
+    }
+
+    _BV_COMPARE_NAMES = {
+        "bvult": Op.BVULT,
+        "bvule": Op.BVULE,
+        "bvugt": Op.BVUGT,
+        "bvuge": Op.BVUGE,
+        "bvslt": Op.BVSLT,
+        "bvsle": Op.BVSLE,
+        "bvsgt": Op.BVSGT,
+        "bvsge": Op.BVSGE,
+    }
+
+    _BV_OVERFLOW_NAMES = {
+        "bvsaddo": Op.BVSADDO,
+        "bvuaddo": Op.BVUADDO,
+        "bvssubo": Op.BVSSUBO,
+        "bvusubo": Op.BVUSUBO,
+        "bvsmulo": Op.BVSMULO,
+        "bvumulo": Op.BVUMULO,
+        "bvsdivo": Op.BVSDIVO,
+    }
+
+    def _dispatch_bv(self, name, args):
+        if name in self._BV_BINARY_NAMES:
+            op = self._BV_BINARY_NAMES[name]
+            result = args[0]
+            for arg in args[1:]:
+                result = build.bv_binary(op, result, arg)
+            return result
+        if name in self._BV_COMPARE_NAMES:
+            return build.bv_compare(self._BV_COMPARE_NAMES[name], args[0], args[1])
+        if name in self._BV_OVERFLOW_NAMES:
+            return build.bv_overflow(self._BV_OVERFLOW_NAMES[name], args[0], args[1])
+        if name == "bvnot":
+            return build.BVNot(args[0])
+        if name == "bvneg":
+            return build.BVNeg(args[0])
+        if name == "bvabs":
+            return build.BVAbs(args[0])
+        if name == "bvnego":
+            return build.BVNegO(args[0])
+        if name == "concat":
+            result = args[0]
+            for arg in args[1:]:
+                result = build.Concat(result, arg)
+            return result
+        return None
+
+    _FP_BINARY_NAMES = {
+        "fp.add": Op.FP_ADD,
+        "fp.sub": Op.FP_SUB,
+        "fp.mul": Op.FP_MUL,
+        "fp.div": Op.FP_DIV,
+    }
+
+    _FP_COMPARE_NAMES = {
+        "fp.leq": Op.FP_LEQ,
+        "fp.lt": Op.FP_LT,
+        "fp.geq": Op.FP_GEQ,
+        "fp.gt": Op.FP_GT,
+        "fp.eq": Op.FP_EQ,
+    }
+
+    def _dispatch_fp(self, name, args):
+        if name in self._FP_BINARY_NAMES:
+            # The first argument is the rounding mode; only RNE is
+            # supported and it parses as a variable-free symbol below.
+            operands = [a for a in args if a is not _RNE_MARKER]
+            return build.fp_binary(self._FP_BINARY_NAMES[name], operands[0], operands[1])
+        if name in self._FP_COMPARE_NAMES:
+            return build.fp_compare(self._FP_COMPARE_NAMES[name], args[0], args[1])
+        if name == "fp.neg":
+            return build.FPNeg(args[0])
+        if name == "fp.abs":
+            return build.FPAbs(args[0])
+        if name == "fp.isNaN":
+            return build.FPIsNaN(args[0])
+        if name == "fp.isInfinite":
+            return build.FPIsInf(args[0])
+        return None
+
+
+#: Sentinel produced when the RNE rounding-mode symbol is parsed.
+_RNE_MARKER = object()
+
+
+def _parse_sort(node):
+    if isinstance(node, SExpr):
+        items = node.items
+        if len(items) == 3 and _is_symbol(items[0], "_") and _is_symbol(items[1], "BitVec"):
+            return bv_sort(int(items[2].text))
+        if (
+            len(items) == 4
+            and _is_symbol(items[0], "_")
+            and _is_symbol(items[1], "FloatingPoint")
+        ):
+            return fp_sort(int(items[2].text), int(items[3].text))
+        raise ParseError("unsupported sort", node.line, node.column)
+    if node.text == "Bool":
+        return BOOL
+    if node.text == "Int":
+        return INT
+    if node.text == "Real":
+        return REAL
+    if node.text in ("Float16", "Float32", "Float64", "Float128"):
+        widths = {"Float16": (5, 11), "Float32": (8, 24), "Float64": (11, 53), "Float128": (15, 113)}
+        return fp_sort(*widths[node.text])
+    raise ParseError(f"unknown sort {node.text!r}", node.line, node.column)
+
+
+class _RneAwareTermParser(_TermParser):
+    """Extends the term parser to accept the RNE rounding-mode symbol."""
+
+    def _atom(self, token, env):
+        if token.kind == SYMBOL and token.text in ("RNE", "roundNearestTiesToEven"):
+            return _RNE_MARKER
+        return super()._atom(token, env)
+
+
+def parse_script(text):
+    """Parse SMT-LIB source text into a :class:`Script`."""
+    sexprs = _read_sexprs(tokenize(text))
+    script = Script()
+    macros = {}
+    parser = _RneAwareTermParser(script.declarations, macros)
+    for sexpr in sexprs:
+        if not isinstance(sexpr, SExpr) or not sexpr.items:
+            raise ParseError("expected a command", getattr(sexpr, "line", None))
+        head = sexpr.items[0]
+        if not _is_symbol(head):
+            raise ParseError("expected a command name", sexpr.line, sexpr.column)
+        name = head.text
+        if name == "set-logic":
+            script.logic = sexpr.items[1].text
+            script.commands.append(Command(name, script.logic))
+        elif name in ("set-info", "set-option"):
+            script.commands.append(Command("set-info", "", ""))
+        elif name in ("declare-fun", "declare-const"):
+            symbol = sexpr.items[1].text
+            if name == "declare-fun":
+                arity = sexpr.items[2]
+                if not isinstance(arity, SExpr) or arity.items:
+                    raise ParseError(
+                        "only zero-arity declare-fun is supported", sexpr.line, sexpr.column
+                    )
+                sort = _parse_sort(sexpr.items[3])
+            else:
+                sort = _parse_sort(sexpr.items[2])
+            script.declarations[symbol] = sort
+            script.commands.append(Command(name, symbol, sort))
+        elif name == "define-fun":
+            symbol = sexpr.items[1].text
+            params_node = sexpr.items[2]
+            params = []
+            param_env = {}
+            for param in params_node.items:
+                param_name = param.items[0].text
+                param_sort = _parse_sort(param.items[1])
+                params.append(param_name)
+                param_env[param_name] = build.Var(param_name, param_sort)
+            body = parser.parse(sexpr.items[4], param_env)
+            macros[symbol] = (params, body)
+        elif name == "assert":
+            term = parser.parse(sexpr.items[1])
+            script.add_assertion(term)
+            script.commands.append(Command("assert", term))
+        elif name in ("check-sat", "get-model", "exit", "get-info", "get-value"):
+            script.commands.append(Command(name))
+        else:
+            raise ParseError(f"unsupported command {name!r}", sexpr.line, sexpr.column)
+    if script.logic is None:
+        script.logic = script.infer_logic()
+    return script
+
+
+def parse_term(text, declarations=None):
+    """Parse a single term given a name->sort declaration mapping."""
+    sexprs = _read_sexprs(tokenize(text))
+    if len(sexprs) != 1:
+        raise ParseError("expected exactly one term")
+    parser = _RneAwareTermParser(dict(declarations or {}), {})
+    return parser.parse(sexprs[0])

@@ -1,0 +1,144 @@
+"""Printing terms and scripts back to SMT-LIB 2 concrete syntax.
+
+The printer emits standard SMT-LIB so that output round-trips through
+:mod:`repro.smtlib.parser` (property-tested in the test suite) and could be
+fed to any external SMT-LIB-compliant solver, mirroring STAUB's
+``--output`` flag.
+"""
+
+from fractions import Fraction
+
+from repro.smtlib.sorts import BOOL
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue, FPValue
+
+
+def _format_int(value):
+    if value < 0:
+        return f"(- {-value})"
+    return str(value)
+
+
+def _format_real(value):
+    fraction = Fraction(value)
+    if fraction < 0:
+        return f"(- {_format_real(-fraction)})"
+    if fraction.denominator == 1:
+        return f"{fraction.numerator}.0"
+    return f"(/ {fraction.numerator}.0 {fraction.denominator}.0)"
+
+
+def _format_fp(value):
+    if value.is_nan:
+        return f"(_ NaN {value.eb} {value.sb})"
+    if value.is_inf:
+        sign = "-" if value.sign else "+"
+        return f"(_ {sign}oo {value.eb} {value.sb})"
+    if value.is_zero:
+        sign = "-" if value.sign else "+"
+        return f"(_ {sign}zero {value.eb} {value.sb})"
+    # Finite non-zero values print via the real-to-fp conversion form,
+    # which every SMT-LIB solver accepts.
+    rational = value.to_fraction()
+    return f"((_ to_fp {value.eb} {value.sb}) RNE {_format_real(rational)})"
+
+
+def _format_const(term):
+    value = term.value
+    if term.sort is BOOL:
+        return "true" if value else "false"
+    if isinstance(value, BVValue):
+        return value.smtlib()
+    if isinstance(value, FPValue):
+        return _format_fp(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return _format_int(value)
+    return _format_real(value)
+
+
+def _head(term):
+    """The operator spelling that opens this application."""
+    op = term.op
+    if op is Op.NEG:
+        return "-"
+    if op is Op.EXTRACT:
+        hi, lo = term.payload
+        return f"(_ extract {hi} {lo})"
+    if op is Op.ZERO_EXTEND:
+        return f"(_ zero_extend {term.payload})"
+    if op is Op.SIGN_EXTEND:
+        return f"(_ sign_extend {term.payload})"
+    return op.value
+
+
+#: Arithmetic FP operators take an explicit rounding mode in SMT-LIB.
+_FP_ROUNDED = {Op.FP_ADD, Op.FP_SUB, Op.FP_MUL, Op.FP_DIV}
+
+
+def print_term(term):
+    """Render a term as an SMT-LIB 2 s-expression string."""
+    parts = []
+    # Iterative rendering: the stack holds either terms to render or
+    # literal strings already rendered.
+    stack = [term]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        if item.op is Op.CONST:
+            parts.append(_format_const(item))
+            continue
+        if item.op is Op.VAR:
+            parts.append(item.name)
+            continue
+        parts.append("(" + _head(item))
+        if item.op in _FP_ROUNDED:
+            parts.append("RNE")
+        stack.append(")")
+        for arg in reversed(item.args):
+            stack.append(arg)
+    # Join with spaces, then tidy the parenthesis spacing.
+    text = " ".join(parts)
+    return text.replace("( ", "(").replace(" )", ")")
+
+
+def print_sort(sort):
+    """Render a sort in SMT-LIB spelling."""
+    return sort.name
+
+
+def print_command(command):
+    """Render one :class:`~repro.smtlib.script.Command`."""
+    name = command.name
+    if name == "set-logic":
+        return f"(set-logic {command.args[0]})"
+    if name == "set-info":
+        keyword, value = command.args
+        return f"(set-info {keyword} {value})"
+    if name == "declare-fun":
+        symbol, sort = command.args
+        return f"(declare-fun {symbol} () {print_sort(sort)})"
+    if name == "declare-const":
+        symbol, sort = command.args
+        return f"(declare-const {symbol} {print_sort(sort)})"
+    if name == "assert":
+        return f"(assert {print_term(command.args[0])})"
+    if name in ("check-sat", "get-model", "exit"):
+        return f"({name})"
+    raise ValueError(f"cannot print command {name!r}")
+
+
+def print_script(script):
+    """Render a full :class:`~repro.smtlib.script.Script`."""
+    lines = []
+    if script.logic:
+        lines.append(f"(set-logic {script.logic})")
+    for name, sort in script.declarations.items():
+        lines.append(f"(declare-fun {name} () {print_sort(sort)})")
+    for assertion in script.assertions:
+        lines.append(f"(assert {print_term(assertion)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,133 @@
+"""SMT-LIB sorts.
+
+The reproduction supports the sorts the paper works with: ``Bool``,
+``Int``, ``Real``, fixed-width bitvectors ``(_ BitVec n)``, and
+floating-point sorts ``(_ FloatingPoint eb sb)``.
+
+Sorts are immutable and interned: two sorts are equal iff they are the same
+object, which keeps sort comparison cheap in the term layer.
+"""
+
+from repro.errors import SortError
+
+
+class Sort:
+    """Base class for all sorts.
+
+    Attributes:
+        name: the SMT-LIB spelling of the sort.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+    @property
+    def is_bool(self):
+        return self is BOOL
+
+    @property
+    def is_int(self):
+        return self is INT
+
+    @property
+    def is_real(self):
+        return self is REAL
+
+    @property
+    def is_bv(self):
+        return isinstance(self, BVSort)
+
+    @property
+    def is_fp(self):
+        return isinstance(self, FPSort)
+
+    @property
+    def is_numeric(self):
+        """True for the four arithmetic kinds (Int, Real, BV, FP)."""
+        return self.is_int or self.is_real or self.is_bv or self.is_fp
+
+    @property
+    def is_bounded(self):
+        """True if the sort has finitely many values (Definition 3.3)."""
+        return self.is_bool or self.is_bv or self.is_fp
+
+
+class BVSort(Sort):
+    """The sort ``(_ BitVec width)`` of fixed-width bitvectors."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width):
+        if width < 1:
+            raise SortError(f"bitvector width must be positive, got {width}")
+        super().__init__(f"(_ BitVec {width})")
+        self.width = width
+
+
+class FPSort(Sort):
+    """The sort ``(_ FloatingPoint eb sb)`` of IEEE-754 values.
+
+    Attributes:
+        eb: exponent width in bits.
+        sb: significand width in bits, including the hidden bit.
+    """
+
+    __slots__ = ("eb", "sb")
+
+    def __init__(self, eb, sb):
+        if eb < 2 or sb < 2:
+            raise SortError(f"floating-point widths must be >= 2, got eb={eb} sb={sb}")
+        super().__init__(f"(_ FloatingPoint {eb} {sb})")
+        self.eb = eb
+        self.sb = sb
+
+    @property
+    def width(self):
+        """Total bit width of the packed representation."""
+        return 1 + self.eb + self.sb - 1
+
+
+BOOL = Sort("Bool")
+INT = Sort("Int")
+REAL = Sort("Real")
+
+_BV_CACHE = {}
+_FP_CACHE = {}
+
+
+def bv_sort(width):
+    """Return the interned bitvector sort of the given width."""
+    sort = _BV_CACHE.get(width)
+    if sort is None:
+        sort = BVSort(width)
+        _BV_CACHE[width] = sort
+    return sort
+
+
+def fp_sort(eb, sb):
+    """Return the interned floating-point sort with the given widths."""
+    key = (eb, sb)
+    sort = _FP_CACHE.get(key)
+    if sort is None:
+        sort = FPSort(eb, sb)
+        _FP_CACHE[key] = sort
+    return sort
+
+
+#: IEEE-754 binary16 (half precision).
+FLOAT16 = fp_sort(5, 11)
+#: IEEE-754 binary32 (single precision).
+FLOAT32 = fp_sort(8, 24)
+#: IEEE-754 binary64 (double precision).
+FLOAT64 = fp_sort(11, 53)
+#: IEEE-754 binary128 (quad precision).
+FLOAT128 = fp_sort(15, 113)
+
+#: The standard widths SLOT supports; real-side widths are rounded up to
+#: one of these before SLOT is applied (Section 5.3 of the paper).
+STANDARD_FP_SORTS = (FLOAT16, FLOAT32, FLOAT64, FLOAT128)

@@ -1,0 +1,56 @@
+"""Term substitution utilities.
+
+Capture-free substitution is trivial here because the term language has
+no binders (let-bindings are expanded by the parser); substitution is a
+single sharing-preserving bottom-up rebuild.
+"""
+
+from repro.errors import SortError
+from repro.smtlib.terms import Term, map_terms
+
+
+def substitute(term, mapping):
+    """Replace variables by terms.
+
+    Args:
+        term: the term to rewrite.
+        mapping: variable name -> replacement term. Replacements must
+            match the variable's sort.
+
+    Returns:
+        The rewritten (hash-consed) term.
+
+    Raises:
+        SortError: a replacement's sort differs from the variable's.
+    """
+    return substitute_all([term], mapping)[0]
+
+
+def substitute_all(terms, mapping):
+    """Substitute across several terms, preserving shared structure."""
+
+    def rewrite(node, new_args):
+        if node.is_var and node.name in mapping:
+            replacement = mapping[node.name]
+            if replacement.sort is not node.sort:
+                raise SortError(
+                    f"substitution for {node.name} has sort "
+                    f"{replacement.sort}, expected {node.sort}"
+                )
+            return replacement
+        if not node.args:
+            return node
+        return Term(node.op, tuple(new_args), node.payload, node.sort)
+
+    return map_terms(terms, rewrite)
+
+
+def rename_variables(term, renaming):
+    """Rename variables (name -> name), keeping sorts."""
+    from repro.smtlib import build
+
+    mapping = {}
+    for sub in term.subterms():
+        if sub.is_var and sub.name in renaming:
+            mapping[sub.name] = build.Var(renaming[sub.name], sub.sort)
+    return substitute(term, mapping)

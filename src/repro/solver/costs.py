@@ -1,0 +1,49 @@
+"""Unified virtual-cost model.
+
+Each engine counts its own natural work unit (SAT propagations, simplex
+pivots, interval node evaluations). These differ wildly in wall-clock cost
+per unit, so the evaluation harness converts everything into *unified
+work units* -- calibrated so one unit corresponds to roughly the cost of
+one SAT propagation step. Experiments then compare engines on one
+deterministic, machine-independent clock.
+
+The calibration constants were measured on this implementation (see
+``tests/test_costs.py`` for the sanity bounds); they only need to be
+right to within a small factor for the paper's comparisons to be
+meaningful, since the effects being reproduced are orders of magnitude.
+"""
+
+#: One CDCL step (propagation-dominated): the base unit.
+SAT_STEP = 1
+
+#: One interval node evaluation / exact term evaluation step: Fraction
+#: arithmetic over term DAG nodes.
+INTERVAL_STEP = 20
+
+#: One simplex pivot (row updates over exact rationals).
+PIVOT_STEP = 100
+
+
+def from_sat(work):
+    """Unified work of a bounded (bit-blast + CDCL) run."""
+    return work * SAT_STEP
+
+
+def from_interval(work):
+    """Unified work of an ICP engine (NIA / NRA) run."""
+    return work * INTERVAL_STEP
+
+
+def from_simplex(work):
+    """Unified work of a simplex-based engine (LRA / LIA) run."""
+    return work * PIVOT_STEP
+
+
+def budget_for_interval(unified_budget):
+    """Translate a unified budget into raw ICP units."""
+    return None if unified_budget is None else max(1, unified_budget // INTERVAL_STEP)
+
+
+def budget_for_simplex(unified_budget):
+    """Translate a unified budget into raw simplex units."""
+    return None if unified_budget is None else max(1, unified_budget // PIVOT_STEP)

@@ -1,0 +1,80 @@
+"""Top-level solving entry point: route a script to the right engine.
+
+``solve_script`` detects the script's logic, dispatches bounded scripts to
+the bit-blasting back end and unbounded ones to DPLL(T) over the profile's
+theory engine, and reports results on the unified virtual clock
+(:mod:`repro.solver.costs`).
+"""
+
+from repro.bv.solver import solve_bounded_script
+from repro.errors import UnsupportedLogicError
+from repro.solver import costs
+from repro.solver.dpllt import solve_with_theory
+from repro.solver.profiles import get_profile
+from repro.solver.result import SAT, UNKNOWN, UNSAT, SolveResult
+
+
+def _bounded_logic(script):
+    return all(sort.is_bounded for sort in script.declarations.values())
+
+
+def solve_script(script, budget=None, profile="zorro"):
+    """Solve a script under a profile with a unified work budget.
+
+    Args:
+        script: a :class:`~repro.smtlib.script.Script` in one of the
+            supported quantifier-free logics.
+        budget: unified work budget (None = unlimited). Exhaustion yields
+            status ``"unknown"`` -- the reproduction's timeout.
+        profile: profile name or :class:`SolverProfile`.
+
+    Returns:
+        A :class:`~repro.solver.result.SolveResult` whose ``work`` is in
+        unified units regardless of engine.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+
+    if _bounded_logic(script):
+        if any(sort.is_fp for sort in script.declarations.values()):
+            raise UnsupportedLogicError(
+                "floating-point scripts are solved through the fixed-point "
+                "encoding (see repro.fp.fixedpoint), not directly"
+            )
+        bounded = solve_bounded_script(script, max_work=budget)
+        return SolveResult(
+            bounded.status,
+            bounded.model,
+            costs.from_sat(bounded.work),
+            engine="bv",
+            detail={
+                "cnf_vars": bounded.cnf_vars,
+                "cnf_clauses": bounded.cnf_clauses,
+                **bounded.stats.as_dict(),
+            },
+        )
+
+    logic = script.logic or script.infer_logic()
+    if logic not in ("QF_LIA", "QF_LRA", "QF_NIA", "QF_NRA"):
+        # Scripts that mix or mis-declare logics still route by inference.
+        logic = script.infer_logic()
+    if logic not in ("QF_LIA", "QF_LRA", "QF_NIA", "QF_NRA"):
+        raise UnsupportedLogicError(f"unsupported logic {logic}")
+
+    engine_factory = profile.engine_for(logic)
+    if logic in ("QF_LIA", "QF_LRA"):
+        raw_budget = costs.budget_for_simplex(budget)
+        to_unified = costs.from_simplex
+        engine_name = "simplex-bb" if logic == "QF_LIA" else "simplex"
+    else:
+        raw_budget = costs.budget_for_interval(budget)
+        to_unified = costs.from_interval
+        engine_name = "nia" if logic == "QF_NIA" else "nra"
+        if logic == "QF_NIA":
+            engine_name = f"nia-{profile.name}"
+
+    status, model, theory_work, sat_work = solve_with_theory(
+        script, engine_factory, budget=raw_budget
+    )
+    work = to_unified(theory_work) + costs.from_sat(sat_work)
+    return SolveResult(status, model, work, engine=engine_name)

@@ -1,0 +1,36 @@
+"""Termination-proving client analysis (the paper's RQ3 substrate).
+
+A reproduction of the Ultimate-Automizer-shaped workload: a small integer
+while-language (:mod:`repro.termination.lang`), linear ranking-function
+synthesis via Farkas' lemma (:mod:`repro.termination.ranking`) emitting
+QF_LIA constraints, a geometric nontermination-argument generator
+emitting QF_NIA constraints (:mod:`repro.termination.nontermination`),
+and a driver (:mod:`repro.termination.automizer`) that feeds every
+generated constraint through the solver -- optionally via STAUB -- and
+aggregates verdicts.
+
+The generated constraint stream is *pessimistic* for theory arbitrage in
+exactly the paper's sense: most queries are unsatisfiable (failed
+candidate arguments), so most arbitrage runs revert; the overall speedup
+comes from the satisfiable nonlinear tail.
+"""
+
+from repro.termination.lang import Assign, Loop, Program, parse_program
+from repro.termination.interp import run_program
+from repro.termination.ranking import ranking_constraints
+from repro.termination.nontermination import nontermination_constraints
+from repro.termination.automizer import Automizer, AnalysisResult
+from repro.termination.programs import termination_benchmark_suite
+
+__all__ = [
+    "Assign",
+    "Loop",
+    "Program",
+    "parse_program",
+    "run_program",
+    "ranking_constraints",
+    "nontermination_constraints",
+    "Automizer",
+    "AnalysisResult",
+    "termination_benchmark_suite",
+]

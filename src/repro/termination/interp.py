@@ -1,0 +1,52 @@
+"""Concrete interpreter for the while-language.
+
+Used to *observe* termination empirically (ground truth for tests and for
+labelling generated programs): run the loop up to a step bound and report
+whether it exited.
+"""
+
+TERMINATED = "terminated"
+RUNNING = "running"  # still looping when the step bound was hit
+
+
+class RunOutcome:
+    """Result of executing a program.
+
+    Attributes:
+        status: :data:`TERMINATED` or :data:`RUNNING`.
+        steps: loop iterations executed.
+        final_state: variable values at the end of the run.
+    """
+
+    __slots__ = ("status", "steps", "final_state")
+
+    def __init__(self, status, steps, final_state):
+        self.status = status
+        self.steps = steps
+        self.final_state = final_state
+
+    def __repr__(self):
+        return f"RunOutcome({self.status}, steps={self.steps})"
+
+
+def run_program(program, max_steps=10_000, initial_overrides=None):
+    """Execute a program concretely.
+
+    Args:
+        program: the :class:`~repro.termination.lang.Program`.
+        max_steps: loop-iteration budget.
+        initial_overrides: values for variables without initializers.
+
+    Returns:
+        A :class:`RunOutcome`.
+    """
+    state = {name: 0 for name in program.variables}
+    state.update(program.init)
+    state.update(initial_overrides or {})
+    steps = 0
+    while program.loop.guard_holds(state):
+        if steps >= max_steps:
+            return RunOutcome(RUNNING, steps, state)
+        state = program.loop.step(state)
+        steps += 1
+    return RunOutcome(TERMINATED, steps, state)

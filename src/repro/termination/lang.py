@@ -1,0 +1,258 @@
+"""A small integer while-language.
+
+Programs are straight-line initialization followed by a single guarded
+loop with affine updates -- the fragment linear ranking-function synthesis
+handles, and the shape of the SV-COMP termination tasks the paper's RQ3
+draws on::
+
+    x := 12; y := 0;
+    while (x > 0 and y < 40) { x := x - 1; y := y + 2; }
+
+Guards are conjunctions of affine comparisons; updates are simultaneous
+affine assignments.
+"""
+
+import re
+
+from repro.errors import ParseError
+
+
+class Assign:
+    """``name := constant + sum coeff * var`` (affine RHS).
+
+    Attributes:
+        name: assigned variable.
+        constant: integer constant term.
+        coefficients: var name -> integer coefficient.
+    """
+
+    __slots__ = ("name", "constant", "coefficients")
+
+    def __init__(self, name, constant=0, coefficients=None):
+        self.name = name
+        self.constant = constant
+        self.coefficients = dict(coefficients or {})
+
+    def evaluate(self, state):
+        value = self.constant
+        for var, coefficient in self.coefficients.items():
+            value += coefficient * state[var]
+        return value
+
+    def __repr__(self):
+        parts = [str(self.constant)] if self.constant or not self.coefficients else []
+        for var, coefficient in sorted(self.coefficients.items()):
+            parts.append(f"{coefficient}*{var}")
+        return f"{self.name} := {' + '.join(parts)}"
+
+
+class Guard:
+    """One affine comparison ``constant + sum coeff*var  REL  0``."""
+
+    __slots__ = ("constant", "coefficients", "relation")
+
+    def __init__(self, constant, coefficients, relation):
+        self.constant = constant
+        self.coefficients = dict(coefficients)
+        self.relation = relation  # ">=", ">", "<=", "<", "="
+
+    def holds(self, state):
+        value = self.constant + sum(
+            c * state[v] for v, c in self.coefficients.items()
+        )
+        return {
+            ">=": value >= 0,
+            ">": value > 0,
+            "<=": value <= 0,
+            "<": value < 0,
+            "=": value == 0,
+        }[self.relation]
+
+    def __repr__(self):
+        body = " + ".join(
+            [str(self.constant)]
+            + [f"{c}*{v}" for v, c in sorted(self.coefficients.items())]
+        )
+        return f"({body} {self.relation} 0)"
+
+
+class Loop:
+    """``while (guards) { updates }`` with simultaneous updates."""
+
+    __slots__ = ("guards", "updates")
+
+    def __init__(self, guards, updates):
+        self.guards = list(guards)
+        self.updates = list(updates)
+
+    def guard_holds(self, state):
+        return all(guard.holds(state) for guard in self.guards)
+
+    def step(self, state):
+        new_state = dict(state)
+        for update in self.updates:
+            new_state[update.name] = update.evaluate(state)
+        return new_state
+
+
+class Program:
+    """An initialized single-loop program.
+
+    Attributes:
+        name: identifier.
+        variables: ordered variable names.
+        init: name -> initial integer value (may be None = unconstrained).
+        loop: the :class:`Loop`.
+    """
+
+    __slots__ = ("name", "variables", "init", "loop")
+
+    def __init__(self, name, variables, init, loop):
+        self.name = name
+        self.variables = list(variables)
+        self.init = dict(init)
+        self.loop = loop
+
+    def __repr__(self):
+        return f"Program({self.name}, vars={self.variables})"
+
+
+# ---------------------------------------------------------------------------
+# Parser for the concrete syntax
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>-?\d+)|(?P<name>[A-Za-z_]\w*)|(?P<op>:=|>=|<=|==|[><=+\-*;(){}]|and))"
+)
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if not match:
+            if text[position:].strip():
+                raise ParseError(f"bad program syntax near {text[position:position+20]!r}")
+            break
+        position = match.end()
+        tokens.append(match.group("num") or match.group("name") or match.group("op"))
+    return tokens
+
+
+class _ProgramParser:
+    def __init__(self, tokens, name):
+        self.tokens = tokens
+        self.position = 0
+        self.name = name
+
+    def _peek(self):
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _take(self, expected=None):
+        token = self._peek()
+        if token is None or (expected is not None and token != expected):
+            raise ParseError(f"expected {expected!r}, got {token!r} in program {self.name}")
+        self.position += 1
+        return token
+
+    def _affine(self):
+        """Parse ``term (+|- term)*`` into (constant, coefficients)."""
+        constant = 0
+        coefficients = {}
+        sign = 1
+        while True:
+            token = self._peek()
+            if token == "-":
+                self._take()
+                sign = -sign
+                continue
+            if token == "+":
+                self._take()
+                continue
+            if token is None:
+                break
+            if re.fullmatch(r"-?\d+", token):
+                self._take()
+                value = sign * int(token)
+                sign = 1
+                if self._peek() == "*":
+                    self._take("*")
+                    var = self._take()
+                    coefficients[var] = coefficients.get(var, 0) + value
+                else:
+                    constant += value
+            elif re.fullmatch(r"[A-Za-z_]\w*", token) and token != "and":
+                self._take()
+                coefficients[token] = coefficients.get(token, 0) + sign
+                sign = 1
+            else:
+                break
+            if self._peek() not in ("+", "-"):
+                break
+        return constant, coefficients
+
+    def _assign(self):
+        name = self._take()
+        self._take(":=")
+        constant, coefficients = self._affine()
+        self._take(";")
+        return Assign(name, constant, coefficients)
+
+    def _guard(self):
+        left_constant, left_coefficients = self._affine()
+        relation = self._take()
+        if relation == "==":
+            relation = "="
+        if relation not in (">=", ">", "<=", "<", "="):
+            raise ParseError(f"bad relation {relation!r} in program {self.name}")
+        right_constant, right_coefficients = self._affine()
+        constant = left_constant - right_constant
+        coefficients = dict(left_coefficients)
+        for var, coefficient in right_coefficients.items():
+            coefficients[var] = coefficients.get(var, 0) - coefficient
+        coefficients = {v: c for v, c in coefficients.items() if c}
+        return Guard(constant, coefficients, relation)
+
+    def parse(self):
+        init_assigns = []
+        while self._peek() is not None and self._peek() != "while":
+            init_assigns.append(self._assign())
+        self._take("while")
+        self._take("(")
+        guards = [self._guard()]
+        while self._peek() == "and":
+            self._take("and")
+            guards.append(self._guard())
+        self._take(")")
+        self._take("{")
+        updates = []
+        while self._peek() != "}":
+            updates.append(self._assign())
+        self._take("}")
+
+        variables = []
+        for assign in init_assigns + updates:
+            if assign.name not in variables:
+                variables.append(assign.name)
+            for var in assign.coefficients:
+                if var not in variables:
+                    variables.append(var)
+        for guard in guards:
+            for var in guard.coefficients:
+                if var not in variables:
+                    variables.append(var)
+        init = {}
+        for assign in init_assigns:
+            if assign.coefficients:
+                raise ParseError(
+                    f"initializers must be constants in program {self.name}"
+                )
+            init[assign.name] = assign.constant
+        loop = Loop(guards, updates)
+        return Program(self.name, variables, init, loop)
+
+
+def parse_program(text, name="program"):
+    """Parse the concrete while-language syntax into a :class:`Program`."""
+    return _ProgramParser(_tokenize(text), name).parse()

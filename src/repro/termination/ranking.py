@@ -1,0 +1,180 @@
+"""Linear ranking-function synthesis via Farkas' lemma.
+
+For a single affine loop (guard polyhedron + simultaneous affine update)
+we search for a linear ranking function ``r(x) = f . x + f0`` with the
+two classic Podelski--Rybalchenko conditions on every transition
+``(x, x')`` of the loop:
+
+- boundedness: ``r(x) >= 0``;
+- decrease:    ``r(x) - r(x') >= 1``.
+
+Both are entailments over the transition polyhedron ``A z <= b`` with
+``z = (x, x')``, turned into existential constraints on the template by
+Farkas' lemma: ``c z <= d`` holds on the polyhedron iff there is
+``lambda >= 0`` with ``lambda A = c`` and ``lambda b <= d``. The unknowns
+(the template ``f`` and the multipliers) become an SMT constraint in
+QF_LIA, exactly the constraint stream Ultimate Automizer sends to its
+solver.
+
+Like Ultimate, the generator issues *iterative candidate queries* with
+increasingly generous template-coefficient bounds; early tight bounds are
+usually unsatisfiable, which is what makes the client workload
+pessimistic for theory arbitrage (Section 5.4).
+"""
+
+from repro.smtlib import build
+from repro.smtlib.script import Script
+
+
+def _transition_rows(program):
+    """The transition polyhedron ``A z <= b`` with z = (x..., x'...).
+
+    Returns (rows, order) where each row is (coefficients over z, bound)
+    and order is the variable name list defining z's layout.
+    """
+    variables = program.variables
+    index = {name: i for i, name in enumerate(variables)}
+    width = 2 * len(variables)
+    rows = []
+
+    def blank():
+        return [0] * width
+
+    for guard in program.loop.guards:
+        # constant + sum c*x REL 0  ->  rows in <= form.
+        if guard.relation in (">=", ">"):
+            row = blank()
+            for name, coefficient in guard.coefficients.items():
+                row[index[name]] = -coefficient
+            bound = guard.constant - (1 if guard.relation == ">" else 0)
+            rows.append((row, bound))
+        elif guard.relation in ("<=", "<"):
+            row = blank()
+            for name, coefficient in guard.coefficients.items():
+                row[index[name]] = coefficient
+            bound = -guard.constant - (1 if guard.relation == "<" else 0)
+            rows.append((row, bound))
+        else:  # equality: two inequalities
+            for sign in (1, -1):
+                row = blank()
+                for name, coefficient in guard.coefficients.items():
+                    row[index[name]] = sign * coefficient
+                rows.append((row, sign * -guard.constant))
+
+    updated = {assign.name: assign for assign in program.loop.updates}
+    for name in variables:
+        assign = updated.get(name)
+        primed = index[name] + len(variables)
+        if assign is None:
+            # Unchanged variable: x' = x.
+            for sign in (1, -1):
+                row = blank()
+                row[primed] = sign
+                row[index[name]] = -sign
+                rows.append((row, 0))
+        else:
+            # x' = const + sum coeff * x  as two inequalities.
+            for sign in (1, -1):
+                row = blank()
+                row[primed] = sign
+                for var, coefficient in assign.coefficients.items():
+                    row[index[var]] = -sign * coefficient
+                rows.append((row, sign * assign.constant))
+    return rows, variables
+
+
+def ranking_constraints(program, coefficient_bound=None, decrease=1):
+    """Build the Farkas constraint for a linear ranking function.
+
+    Args:
+        program: the loop program.
+        coefficient_bound: when given, additionally require every template
+            coefficient to lie in ``[-bound, bound]`` -- the iterative
+            candidate-query pattern.
+        decrease: required per-iteration decrease of the ranking function.
+            Candidate queries with aggressive decrease targets usually
+            fail (unsat), reproducing the mostly-unsat client stream.
+
+    Returns:
+        A QF_LIA :class:`Script`, satisfiable iff a (bounded) linear
+        ranking function with the requested decrease exists.
+    """
+    rows, variables = _transition_rows(program)
+    num_vars = len(variables)
+    width = 2 * num_vars
+
+    template = {name: build.IntVar(f"f_{name}") for name in variables}
+    template_const = build.IntVar("f_0")
+    lambda_bound = [build.IntVar(f"lb_{i}") for i in range(len(rows))]
+    lambda_decrease = [build.IntVar(f"ld_{i}") for i in range(len(rows))]
+
+    assertions = []
+    for multipliers in (lambda_bound, lambda_decrease):
+        for variable in multipliers:
+            assertions.append(build.Ge(variable, build.IntConst(0)))
+
+    def _sum(terms):
+        terms = [t for t in terms if t is not None]
+        if not terms:
+            return build.IntConst(0)
+        if len(terms) == 1:
+            return terms[0]
+        return build.Add(*terms)
+
+    def _scaled(variable, coefficient):
+        if coefficient == 0:
+            return None
+        if coefficient == 1:
+            return variable
+        return build.Mul(build.IntConst(coefficient), variable)
+
+    # Boundedness: lambda_b A = c1 with c1 = (-f, 0);  lambda_b b <= f0.
+    for column in range(width):
+        lhs = _sum(
+            _scaled(lambda_bound[i], row[column]) for i, (row, _) in enumerate(rows)
+        )
+        if column < num_vars:
+            target = build.Neg(template[variables[column]])
+        else:
+            target = build.IntConst(0)
+        assertions.append(build.Eq(lhs, target))
+    bound_rhs = _sum(
+        _scaled(lambda_bound[i], bound) for i, (_, bound) in enumerate(rows)
+    )
+    assertions.append(build.Le(bound_rhs, template_const))
+
+    # Decrease: lambda_d A = c2 with c2 = (-f, +f);  lambda_d b <= -1.
+    for column in range(width):
+        lhs = _sum(
+            _scaled(lambda_decrease[i], row[column]) for i, (row, _) in enumerate(rows)
+        )
+        name = variables[column % num_vars]
+        target = build.Neg(template[name]) if column < num_vars else template[name]
+        assertions.append(build.Eq(lhs, target))
+    decrease_rhs = _sum(
+        _scaled(lambda_decrease[i], bound) for i, (_, bound) in enumerate(rows)
+    )
+    assertions.append(build.Le(decrease_rhs, build.IntConst(-decrease)))
+
+    # A trivial all-zero template satisfies nothing (decrease needs -1),
+    # but bounded-coefficient candidate queries mimic Ultimate's search.
+    if coefficient_bound is not None:
+        for variable in list(template.values()) + [template_const]:
+            assertions.append(build.Ge(variable, build.IntConst(-coefficient_bound)))
+            assertions.append(build.Le(variable, build.IntConst(coefficient_bound)))
+        for variable in lambda_bound + lambda_decrease:
+            assertions.append(build.Le(variable, build.IntConst(coefficient_bound)))
+
+    return Script.from_assertions(assertions, logic="QF_LIA")
+
+
+def extract_ranking_function(program, model):
+    """Read the synthesized ranking function out of a model.
+
+    Returns:
+        (coefficients dict, constant) for ``r(x) = f . x + f0``.
+    """
+    coefficients = {
+        name: model.get(f"f_{name}", 0) for name in program.variables
+    }
+    return coefficients, model.get("f_0", 0)

@@ -1,0 +1,3 @@
+"""Package version, kept separate to avoid import cycles."""
+
+__version__ = "1.0.0"

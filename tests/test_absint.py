@@ -1,0 +1,192 @@
+"""Tests for the abstract domains, including the Galois connection laws
+of Lemmas 4.3 and 4.4."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.absint import (
+    IntWidthDomain,
+    MagPrec,
+    RealMagnitudePrecisionDomain,
+    dig,
+    int_width,
+)
+
+
+class TestIntWidth:
+    def test_widths_of_small_constants(self):
+        assert int_width(0) == 1
+        assert int_width(1) == 2
+        assert int_width(15) == 5
+        assert int_width(-15) == 5
+        assert int_width(855) == 11
+
+    @given(st.integers(-(10**9), 10**9))
+    def test_gamma_alpha_containment(self, value):
+        """x in gamma(alpha({x})) -- half of the Galois property."""
+        width = IntWidthDomain.alpha([value])
+        assert IntWidthDomain.gamma_contains(width, value)
+
+    @given(st.lists(st.integers(-(10**6), 10**6), min_size=1, max_size=5))
+    def test_galois_connection(self, values):
+        """alpha(C) <= a  iff  C subset gamma(a) (Lemma 4.3)."""
+        alpha = IntWidthDomain.alpha(values)
+        for a in range(1, alpha + 3):
+            lhs = alpha <= a
+            rhs = all(IntWidthDomain.gamma_contains(a, v) for v in values)
+            assert lhs == rhs, (values, a)
+
+    def test_gamma_bounds_are_twos_complement(self):
+        assert IntWidthDomain.gamma_bounds(12) == (-2048, 2047)
+
+    def test_alpha_of_booleans_is_one(self):
+        assert IntWidthDomain.alpha([True, False]) == 1
+
+
+class TestIntTransfer:
+    def setup_method(self):
+        self.domain = IntWidthDomain(4)
+
+    def test_var_uses_assumption(self):
+        assert self.domain.var() == 4
+
+    def test_add_binary_is_max_plus_one(self):
+        assert self.domain.add([4, 4]) == 5
+
+    def test_add_folds_nary(self):
+        assert self.domain.add([4, 4, 4]) == 6
+
+    def test_mul_sums_widths(self):
+        assert self.domain.mul([4, 4, 4]) == 12
+
+    def test_neg_abs_add_a_bit(self):
+        assert self.domain.neg(4) == 5
+        assert self.domain.abs(4) == 5
+
+    def test_div_mod(self):
+        assert self.domain.idiv(8, 4) == 9
+        assert self.domain.mod(8, 4) == 4
+
+    def test_join_is_max(self):
+        assert self.domain.join([3, 7, 5]) == 7
+
+    def test_figure4_example_widths(self):
+        """Fig. 4: constants width 4, subtraction gives 5, '<' keeps 5."""
+        domain = IntWidthDomain(4)
+        const_width = domain.const(15)
+        assert const_width == 5  # |15| needs 4 bits + sign
+        subtraction = domain.add([domain.var(), domain.var()])
+        assert subtraction == 5
+        assert domain.join([subtraction, domain.const(0)]) == 5
+
+    def test_soundness_of_transfer_on_samples(self):
+        """The Fig. 5a semantics over-approximate concrete operations."""
+        domain = IntWidthDomain(4)
+        for a in range(-8, 8):
+            for b in range(-8, 8):
+                width_a = IntWidthDomain.alpha([a])
+                width_b = IntWidthDomain.alpha([b])
+                assert IntWidthDomain.gamma_contains(domain.add([width_a, width_b]), a + b)
+                assert IntWidthDomain.gamma_contains(domain.add([width_a, width_b]), a - b)
+                assert IntWidthDomain.gamma_contains(domain.mul([width_a, width_b]), a * b)
+                assert IntWidthDomain.gamma_contains(domain.neg(width_a), -a)
+                assert IntWidthDomain.gamma_contains(domain.abs(width_a), abs(a))
+
+
+class TestDig:
+    def test_dyadic_values(self):
+        assert dig(Fraction(1)) == 0
+        assert dig(Fraction(1, 2)) == 1
+        assert dig(Fraction(3, 8)) == 3
+        assert dig(Fraction(5, 4)) == 2
+
+    def test_non_dyadic_is_infinite(self):
+        assert dig(Fraction(1, 10)) is None
+        assert dig(Fraction(1, 3)) is None
+
+    @given(st.fractions(max_denominator=256))
+    def test_dig_definition(self, value):
+        digits = dig(value)
+        if digits is not None:
+            assert (value * 2**digits).denominator == 1
+            if digits > 0:
+                assert (value * 2 ** (digits - 1)).denominator != 1
+
+
+class TestMagPrecOrdering:
+    def test_componentwise_not_lexicographic(self):
+        # (2, 5) vs (3, 4): incomparable under Equation 3.
+        a = MagPrec(2, 5)
+        b = MagPrec(3, 4)
+        assert not a.leq(b) and not b.leq(a)
+
+    def test_infinite_precision_is_top(self):
+        assert MagPrec(2, 5).leq(MagPrec(2, None))
+        assert not MagPrec(2, None).leq(MagPrec(2, 5))
+
+
+class TestRealDomain:
+    def test_alpha_of_rationals(self):
+        element = RealMagnitudePrecisionDomain.alpha([Fraction(5, 2)])
+        assert element.precision == 1
+        assert RealMagnitudePrecisionDomain.gamma_contains(element, Fraction(5, 2))
+
+    @given(st.fractions(min_value=-1000, max_value=1000, max_denominator=64))
+    def test_gamma_alpha_containment(self, value):
+        element = RealMagnitudePrecisionDomain.alpha([value])
+        assert RealMagnitudePrecisionDomain.gamma_contains(element, value)
+
+    @given(
+        st.lists(
+            st.fractions(min_value=-100, max_value=100, max_denominator=16),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_galois_connection(self, values):
+        """alpha(C) <= (m,p) iff C subset gamma((m,p)) (Lemma 4.4)."""
+        alpha = RealMagnitudePrecisionDomain.alpha(values)
+        candidates = [
+            MagPrec(alpha.magnitude, alpha.precision),
+            MagPrec(alpha.magnitude + 1, alpha.precision),
+            MagPrec(max(1, alpha.magnitude - 1), alpha.precision),
+            MagPrec(alpha.magnitude, None),
+        ]
+        if alpha.precision is not None:
+            candidates.append(MagPrec(alpha.magnitude, alpha.precision + 1))
+            candidates.append(MagPrec(alpha.magnitude, max(0, alpha.precision - 1)))
+        for element in candidates:
+            lhs = alpha.leq(element)
+            rhs = all(
+                RealMagnitudePrecisionDomain.gamma_contains(element, v) for v in values
+            )
+            assert lhs == rhs, (values, element)
+
+    def test_transfer_functions(self):
+        domain = RealMagnitudePrecisionDomain(MagPrec(4, 2))
+        product = domain.mul([MagPrec(3, 1), MagPrec(2, 2)])
+        assert product == MagPrec(5, 3)
+        total = domain.add([MagPrec(3, 1), MagPrec(2, 2)])
+        assert total == MagPrec(4, 2)
+        quotient = domain.div(MagPrec(3, 1), MagPrec(2, 2))
+        assert quotient == MagPrec(5, 3)  # the paper's modified rule
+
+    def test_infinite_precision_propagates(self):
+        domain = RealMagnitudePrecisionDomain(MagPrec(4, None))
+        result = domain.mul([domain.var(), MagPrec(2, 1)])
+        assert result.precision is None
+
+    def test_transfer_soundness_on_samples(self):
+        domain = RealMagnitudePrecisionDomain(MagPrec(4, 2))
+        samples = [Fraction(n, 4) for n in range(-16, 17)]
+        for a in samples:
+            for b in samples:
+                alpha_a = RealMagnitudePrecisionDomain.alpha([a])
+                alpha_b = RealMagnitudePrecisionDomain.alpha([b])
+                total = domain.add([alpha_a, alpha_b])
+                assert RealMagnitudePrecisionDomain.gamma_contains(total, a + b)
+                product = domain.mul([alpha_a, alpha_b])
+                assert RealMagnitudePrecisionDomain.gamma_contains(product, a * b)

@@ -1,0 +1,85 @@
+"""Tests for the Automizer-like driver and program suite."""
+
+import pytest
+
+from repro.termination import Automizer, termination_benchmark_suite
+from repro.termination.automizer import NONTERMINATING, TERMINATING, UNKNOWN
+from repro.termination.interp import RUNNING, TERMINATED, run_program
+from repro.termination.lang import parse_program
+
+
+class TestSuite:
+    def test_suite_has_97_programs(self):
+        suite = termination_benchmark_suite()
+        assert len(suite) == 97
+
+    def test_custom_count(self):
+        assert len(termination_benchmark_suite(count=10)) == 10
+        assert len(termination_benchmark_suite(count=120)) == 120
+
+    def test_deterministic(self):
+        first = termination_benchmark_suite(seed=5, count=20)
+        second = termination_benchmark_suite(seed=5, count=20)
+        assert [p.name for p, _ in first] == [p.name for p, _ in second]
+
+    def test_expected_labels_match_execution(self):
+        """Ground-truth labels agree with concrete interpretation."""
+        for program, expected in termination_benchmark_suite(count=97):
+            if expected is None:
+                continue
+            outcome = run_program(program, max_steps=3000)
+            if expected == "terminating":
+                assert outcome.status == TERMINATED, program.name
+            else:
+                assert outcome.status == RUNNING, program.name
+
+    def test_family_mix(self):
+        names = [p.name for p, _ in termination_benchmark_suite()]
+        for family in ("countdown", "race", "diverge-geometric", "spiral", "fixed-point"):
+            assert any(family in name for name in names), family
+
+
+class TestAnalysis:
+    def test_countdown_proved_terminating(self):
+        program = parse_program("x := 20; while (x > 0) { x := x - 1; }")
+        result = Automizer(use_staub=False).analyze(program)
+        assert result.verdict == TERMINATING
+
+    def test_divergence_proved_nonterminating(self):
+        program = parse_program("x := 2; while (x > 0) { x := 2 * x; }")
+        result = Automizer(use_staub=False).analyze(program)
+        assert result.verdict == NONTERMINATING
+
+    def test_query_log_is_populated(self):
+        program = parse_program("x := 20; while (x > 0) { x := x - 1; }")
+        result = Automizer(use_staub=False).analyze(program)
+        assert result.queries
+        assert all(q.baseline_status in ("sat", "unsat", "unknown") for q in result.queries)
+        assert result.baseline_work >= result.final_work
+
+    def test_staub_portfolio_never_slower(self):
+        program = parse_program("x := 20; while (x > 0) { x := x - 2; }")
+        result = Automizer(use_staub=True).analyze(program)
+        for query in result.queries:
+            assert query.final_work <= query.baseline_work
+
+    def test_failed_candidates_precede_success(self):
+        program = parse_program("x := 20; while (x > 0) { x := x - 1; }")
+        result = Automizer(use_staub=False).analyze(program)
+        # The aggressive-decrease candidate fails first.
+        assert result.queries[0].baseline_status == "unsat"
+
+    def test_verdicts_against_ground_truth_sample(self):
+        automizer = Automizer(use_staub=False, budget=500_000)
+        correct = 0
+        checked = 0
+        for program, expected in termination_benchmark_suite(count=24):
+            if expected is None:
+                continue
+            verdict = automizer.analyze(program).verdict
+            checked += 1
+            if verdict == UNKNOWN:
+                continue  # sound but incomplete is fine
+            assert verdict == expected, program.name
+            correct += 1
+        assert checked > 0 and correct > 0

@@ -1,0 +1,127 @@
+"""Tests for the benchmark generators."""
+
+import pytest
+
+from repro.benchgen import suite_for
+from repro.smtlib.evaluator import evaluate_assertions
+
+LOGICS = ("QF_NIA", "QF_LIA", "QF_NRA", "QF_LRA")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_same_seed_same_suite(self, logic):
+        first = suite_for(logic, seed=7)
+        second = suite_for(logic, seed=7)
+        assert [b.name for b in first] == [b.name for b in second]
+        for a, b in zip(first, second):
+            assert a.script.assertions == b.script.assertions
+
+    def test_different_seeds_differ(self):
+        first = suite_for("QF_NIA", seed=1)
+        second = suite_for("QF_NIA", seed=2)
+        assert any(
+            a.script.assertions != b.script.assertions
+            for a, b in zip(first, second)
+        )
+
+
+class TestPlantedModels:
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_planted_models_actually_satisfy(self, logic):
+        for benchmark in suite_for(logic, seed=11):
+            if benchmark.planted_model is not None:
+                assert evaluate_assertions(
+                    benchmark.script.assertions, benchmark.planted_model
+                ), benchmark.name
+
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_sat_benchmarks_have_witnesses_except_irrational(self, logic):
+        for benchmark in suite_for(logic, seed=11):
+            if benchmark.expected == "sat" and benchmark.family != "irrational":
+                assert benchmark.planted_model is not None, benchmark.name
+
+
+class TestSuiteShape:
+    def test_counts_at_default_scale(self):
+        assert len(suite_for("QF_NIA")) == 54
+        assert len(suite_for("QF_LIA")) == 42
+        assert len(suite_for("QF_NRA")) == 36
+        assert len(suite_for("QF_LRA")) == 30
+
+    def test_scaling(self):
+        full = len(suite_for("QF_NIA", scale=1.0))
+        half = len(suite_for("QF_NIA", scale=0.5))
+        assert half < full
+        assert half >= 5
+
+    def test_unsat_fraction_present(self):
+        suite = suite_for("QF_NIA")
+        expected = [b.expected for b in suite]
+        assert expected.count("unsat") >= 5
+        assert expected.count("sat") >= 20
+
+    def test_logics_declared_consistently(self):
+        for logic in LOGICS:
+            for benchmark in suite_for(logic):
+                declared = benchmark.script.logic
+                assert declared == logic, (benchmark.name, declared)
+
+    def test_names_unique(self):
+        for logic in LOGICS:
+            names = [b.name for b in suite_for(logic)]
+            assert len(names) == len(set(names))
+
+    def test_unknown_logic_rejected(self):
+        with pytest.raises(ValueError):
+            suite_for("QF_S")
+
+
+class TestFamilyProperties:
+    def test_cube_unsat_targets_are_mod9_impossible(self):
+        for benchmark in suite_for("QF_NIA"):
+            if benchmark.family == "math-cubes" and benchmark.expected == "unsat":
+                constant = max(
+                    c.value
+                    for c in benchmark.script.assertions[0].constants()
+                    if isinstance(c.value, int)
+                )
+                assert constant % 9 in (4, 5)
+
+    def test_parity_family_is_even_sum_odd_target(self):
+        for benchmark in suite_for("QF_NIA"):
+            if benchmark.family == "parity":
+                assert benchmark.expected == "unsat"
+
+    def test_decimal_lra_has_non_dyadic_constants(self):
+        from repro.core.absint import dig
+
+        found_non_dyadic = False
+        for benchmark in suite_for("QF_LRA"):
+            if benchmark.family != "decimal-systems":
+                continue
+            for assertion in benchmark.script.assertions:
+                for constant in assertion.constants():
+                    if dig(constant.value) is None:
+                        found_non_dyadic = True
+        assert found_non_dyadic
+
+    def test_coin_unsat_targets_unreachable(self):
+        # Spot-check the Frobenius arithmetic with brute force.
+        for benchmark in suite_for("QF_LIA"):
+            if benchmark.family == "coin" and benchmark.expected == "unsat":
+                constants = [
+                    c.value
+                    for c in benchmark.script.assertions[0].constants()
+                ]
+                target = max(constants)
+                coefficients = sorted(
+                    c for c in constants if c not in (0, target)
+                )
+                a, b = coefficients[0], coefficients[1]
+                reachable = {
+                    a * i + b * j
+                    for i in range(target // a + 1)
+                    for j in range(target // b + 1)
+                }
+                assert target not in reachable, benchmark.name

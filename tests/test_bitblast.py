@@ -1,0 +1,196 @@
+"""Bit-blaster correctness: solver answers must agree with the exact
+evaluator on random constraints (brute-force over small widths)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bv.bitblast import BitBlaster
+from repro.bv.solver import solve_bounded_script
+from repro.sat.solver import solve_cnf
+from repro.smtlib import build
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.script import Script
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue
+
+WIDTH = 4
+
+BINARY_OPS = [
+    Op.BVADD, Op.BVSUB, Op.BVMUL, Op.BVAND, Op.BVOR, Op.BVXOR,
+    Op.BVUDIV, Op.BVSDIV, Op.BVUREM, Op.BVSREM, Op.BVSMOD,
+    Op.BVSHL, Op.BVLSHR, Op.BVASHR,
+]
+COMPARE_OPS = [
+    Op.BVULT, Op.BVULE, Op.BVUGT, Op.BVUGE,
+    Op.BVSLT, Op.BVSLE, Op.BVSGT, Op.BVSGE,
+]
+OVERFLOW_OPS = [
+    Op.BVSADDO, Op.BVUADDO, Op.BVSSUBO, Op.BVUSUBO,
+    Op.BVSMULO, Op.BVUMULO, Op.BVSDIVO,
+]
+
+
+def brute_force(assertion, width=WIDTH):
+    """Find a model by exhaustive evaluation, or None."""
+    names = sorted(assertion.variables())
+    assert len(names) <= 2
+
+    def search(index, assignment):
+        if index == len(names):
+            return dict(assignment) if evaluate(assertion, assignment) else None
+        for value in range(1 << width):
+            assignment[names[index]] = BVValue(value, width)
+            found = search(index + 1, assignment)
+            if found:
+                return found
+        return None
+
+    return search(0, {})
+
+
+def bv_terms(draw, depth):
+    x = build.BitVecVar("x", WIDTH)
+    y = build.BitVecVar("y", WIDTH)
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from((x, y)))
+        return build.BitVecConst(draw(st.integers(0, (1 << WIDTH) - 1)), WIDTH)
+    op = draw(st.sampled_from(BINARY_OPS + [Op.BVNOT, Op.BVNEG, Op.BVABS]))
+    if op is Op.BVNOT:
+        return build.BVNot(bv_terms(draw, depth - 1))
+    if op is Op.BVNEG:
+        return build.BVNeg(bv_terms(draw, depth - 1))
+    if op is Op.BVABS:
+        return build.BVAbs(bv_terms(draw, depth - 1))
+    return build.bv_binary(op, bv_terms(draw, depth - 1), bv_terms(draw, depth - 1))
+
+
+def atoms(draw):
+    left = bv_terms(draw, 2)
+    right = bv_terms(draw, 2)
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return build.bv_compare(draw(st.sampled_from(COMPARE_OPS)), left, right)
+    if choice == 1:
+        return build.bv_overflow(draw(st.sampled_from(OVERFLOW_OPS)), left, right)
+    if choice == 2:
+        return build.Eq(left, right)
+    return build.Not(build.Eq(left, right))
+
+
+class TestAgainstBruteForce:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_solver_agrees_with_exhaustive_evaluation(self, data):
+        assertion = build.And(
+            *[atoms(data.draw) for _ in range(data.draw(st.integers(1, 2)))]
+        )
+        script = Script.from_assertions([assertion])
+        result = solve_bounded_script(script, max_work=5_000_000)
+        expected = brute_force(assertion)
+        assert (result.status == "sat") == (expected is not None)
+        if result.status == "sat":
+            model = {
+                name: result.model[name] for name in assertion.variables()
+            }
+            assert evaluate(assertion, model) is True
+
+
+class TestStructuralOps:
+    def test_extract_concat_identity(self):
+        v = build.BitVecVar("v", 8)
+        recomposed = build.Concat(build.Extract(7, 4, v), build.Extract(3, 0, v))
+        script = Script.from_assertions(
+            [build.Not(build.Eq(recomposed, v))]
+        )
+        assert solve_bounded_script(script).status == "unsat"
+
+    def test_sign_extend_preserves_signed_value(self):
+        v = build.BitVecVar("v", 4)
+        extended = build.SignExtend(4, v)
+        # signed(v) == signed(sign_extend(v)) for all v: check one value.
+        script = Script.from_assertions(
+            [
+                build.Eq(v, build.BitVecConst(-3, 4)),
+                build.Eq(extended, build.BitVecConst(-3, 8)),
+            ]
+        )
+        assert solve_bounded_script(script).status == "sat"
+
+    def test_zero_extend_is_unsigned(self):
+        v = build.BitVecVar("v", 4)
+        script = Script.from_assertions(
+            [
+                build.Eq(v, build.BitVecConst(0b1111, 4)),
+                build.Eq(build.ZeroExtend(4, v), build.BitVecConst(15, 8)),
+            ]
+        )
+        assert solve_bounded_script(script).status == "sat"
+
+
+class TestBooleanLayer:
+    def test_bool_vars_and_structure(self):
+        p = build.BoolVar("p")
+        q = build.BoolVar("q")
+        script = Script.from_assertions(
+            [build.Xor(p, q), build.Implies(p, q)]
+        )
+        result = solve_bounded_script(script)
+        assert result.status == "sat"
+        assert result.model["p"] is False and result.model["q"] is True
+
+    def test_ite_over_bitvectors(self):
+        p = build.BoolVar("p")
+        v = build.BitVecVar("v", 4)
+        chosen = build.Ite(p, build.BitVecConst(3, 4), build.BitVecConst(9, 4))
+        script = Script.from_assertions(
+            [build.Eq(v, chosen), build.bv_compare(Op.BVUGT, v, build.BitVecConst(5, 4))]
+        )
+        result = solve_bounded_script(script)
+        assert result.status == "sat"
+        assert result.model["p"] is False
+        assert result.model["v"].unsigned == 9
+
+    def test_distinct_over_bitvectors(self):
+        a = build.BitVecVar("a", 2)
+        b = build.BitVecVar("b", 2)
+        c = build.BitVecVar("c", 2)
+        d = build.BitVecVar("d", 2)
+        e = build.BitVecVar("e", 2)
+        script = Script.from_assertions([build.Distinct(a, b, c, d, e)])
+        # Five distinct values do not fit in 2 bits.
+        assert solve_bounded_script(script).status == "unsat"
+
+
+class TestGateCache:
+    def test_shared_subterms_share_circuitry(self):
+        x = build.BitVecVar("x", 8)
+        square = build.BVMul(x, x)
+        blaster = BitBlaster()
+        blaster.assert_term(build.Eq(square, build.BitVecConst(49, 8)))
+        size_once = len(blaster.cnf.clauses)
+        blaster.assert_term(
+            build.bv_compare(Op.BVULT, square, build.BitVecConst(100, 8))
+        )
+        # The second assertion reuses the multiplier: only the comparator
+        # is added, which is far smaller than the multiplier.
+        assert len(blaster.cnf.clauses) - size_once < size_once / 2
+
+    def test_constant_bits_use_no_variables(self):
+        blaster = BitBlaster()
+        before = blaster.cnf.num_vars
+        blaster.blast_bits(build.BitVecConst(123, 8))
+        assert blaster.cnf.num_vars == before
+
+
+class TestBudgets:
+    def test_budget_exhaustion_gives_unknown(self):
+        x = build.BitVecVar("x", 12)
+        y = build.BitVecVar("y", 12)
+        z = build.BitVecVar("z", 12)
+        hard = build.Eq(
+            build.BVMul(build.BVMul(x, y), z), build.BitVecConst(1234, 12)
+        )
+        script = Script.from_assertions([hard, build.Not(build.Eq(x, build.BitVecConst(1, 12)))])
+        result = solve_bounded_script(script, max_work=100)
+        assert result.status == "unknown"

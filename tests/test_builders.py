@@ -1,0 +1,149 @@
+"""Sort-checking tests for the smart constructors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SortError
+from repro.smtlib import build
+from repro.smtlib.sorts import BOOL, INT, REAL, bv_sort
+from repro.smtlib.terms import Op
+
+
+class TestLeaves:
+    def test_bool_const_interned(self):
+        assert build.TRUE is build.BoolConst(True)
+        assert build.FALSE is build.BoolConst(False)
+
+    def test_real_const_stores_fraction(self):
+        term = build.RealConst(Fraction(1, 3))
+        assert term.value == Fraction(1, 3)
+        assert term.sort is REAL
+
+    def test_bitvec_const_wraps(self):
+        term = build.BitVecConst(-1, 8)
+        assert term.value.unsigned == 255
+
+    def test_const_dispatch(self):
+        assert build.Const(3, INT).sort is INT
+        assert build.Const(True, BOOL) is build.TRUE
+        assert build.Const(5, bv_sort(4)).sort is bv_sort(4)
+
+    def test_empty_variable_name_rejected(self):
+        with pytest.raises(SortError):
+            build.Var("", INT)
+
+
+class TestBooleanStructure:
+    def test_and_flattens(self):
+        p, q, r = build.BoolVar("p"), build.BoolVar("q"), build.BoolVar("r")
+        nested = build.And(build.And(p, q), r)
+        assert nested.op is Op.AND
+        assert len(nested.args) == 3
+
+    def test_and_of_one_is_identity(self):
+        p = build.BoolVar("p")
+        assert build.And(p) is p
+
+    def test_empty_and_or(self):
+        assert build.And() is build.TRUE
+        assert build.Or() is build.FALSE
+
+    def test_not_requires_bool(self):
+        with pytest.raises(SortError):
+            build.Not(build.IntConst(1))
+
+    def test_ite_branch_sorts_must_match(self):
+        with pytest.raises(SortError):
+            build.Ite(build.TRUE, build.IntConst(1), build.RealConst(1))
+
+    def test_eq_requires_same_sort(self):
+        with pytest.raises(SortError):
+            build.Eq(build.IntConst(1), build.RealConst(1))
+
+    def test_distinct_needs_two_args(self):
+        with pytest.raises(SortError):
+            build.Distinct(build.IntConst(1))
+
+
+class TestArithmetic:
+    def test_add_requires_numeric(self):
+        with pytest.raises(SortError):
+            build.Add(build.TRUE, build.FALSE)
+
+    def test_no_mixed_int_real(self):
+        with pytest.raises(SortError):
+            build.Add(build.IntConst(1), build.RealConst(1))
+
+    def test_abs_is_integer_only(self):
+        with pytest.raises(SortError):
+            build.Abs(build.RealConst(1))
+
+    def test_real_div_requires_reals(self):
+        with pytest.raises(SortError):
+            build.RealDiv(build.IntConst(1), build.IntConst(2))
+
+    def test_comparison_builds_bool(self):
+        term = build.Lt(build.IntConst(1), build.IntConst(2))
+        assert term.sort is BOOL
+
+    def test_to_real_to_int(self):
+        x = build.IntVar("x")
+        assert build.ToReal(x).sort is REAL
+        assert build.ToInt(build.ToReal(x)).sort is INT
+
+
+class TestBitvectors:
+    def test_width_mismatch_rejected(self):
+        a = build.BitVecVar("a", 8)
+        b = build.BitVecVar("b", 9)
+        with pytest.raises(SortError):
+            build.BVAdd(a, b)
+
+    def test_concat_widths_add(self):
+        a = build.BitVecVar("a", 3)
+        b = build.BitVecVar("b", 5)
+        assert build.Concat(a, b).sort.width == 8
+
+    def test_extract_bounds_checked(self):
+        a = build.BitVecVar("a", 8)
+        with pytest.raises(SortError):
+            build.Extract(8, 0, a)
+        with pytest.raises(SortError):
+            build.Extract(3, 5, a)
+
+    def test_zero_extend_zero_is_identity(self):
+        a = build.BitVecVar("a", 8)
+        assert build.ZeroExtend(0, a) is a
+
+    def test_extends_change_width(self):
+        a = build.BitVecVar("a", 8)
+        assert build.ZeroExtend(4, a).sort.width == 12
+        assert build.SignExtend(4, a).sort.width == 12
+
+    def test_comparison_is_bool(self):
+        a = build.BitVecVar("a", 8)
+        assert build.bv_compare(Op.BVULT, a, a).sort is BOOL
+
+    def test_overflow_predicate_is_bool(self):
+        a = build.BitVecVar("a", 8)
+        assert build.bv_overflow(Op.BVSMULO, a, a).sort is BOOL
+
+    def test_wrong_op_kind_rejected(self):
+        a = build.BitVecVar("a", 8)
+        with pytest.raises(SortError):
+            build.bv_binary(Op.BVULT, a, a)
+        with pytest.raises(SortError):
+            build.bv_compare(Op.BVADD, a, a)
+
+
+class TestFloatingPoint:
+    def test_fp_binary_requires_matching_sorts(self):
+        a = build.FPVar("a", 8, 24)
+        b = build.FPVar("b", 11, 53)
+        with pytest.raises(SortError):
+            build.fp_binary(Op.FP_ADD, a, b)
+
+    def test_fp_compare_is_bool(self):
+        a = build.FPVar("a", 8, 24)
+        assert build.fp_compare(Op.FP_LT, a, a).sort is BOOL

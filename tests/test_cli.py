@@ -1,0 +1,118 @@
+"""Tests for the staub command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def nia_file(tmp_path):
+    path = tmp_path / "cubes.smt2"
+    path.write_text(
+        "(set-logic QF_NIA)\n"
+        "(declare-fun x () Int)(declare-fun y () Int)\n"
+        "(assert (= (* x y) 77))(assert (> x 1))(assert (< x y))\n"
+        "(check-sat)\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def bv_file(tmp_path):
+    path = tmp_path / "bv.smt2"
+    path.write_text(
+        "(declare-fun v () (_ BitVec 8))\n"
+        "(assert (= (bvmul v (_ bv4 8)) (_ bv20 8)))\n"
+        "(check-sat)\n"
+    )
+    return str(path)
+
+
+class TestTransform:
+    def test_transform_prints_bounded_script(self, nia_file, capsys):
+        assert main(["transform", nia_file]) == 0
+        out = capsys.readouterr().out
+        assert "(set-logic QF_BV)" in out
+        assert "bvmul" in out
+        assert "; theory: int" in out
+
+    def test_transform_fixed_width(self, nia_file, capsys):
+        assert main(["transform", nia_file, "--width", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "(_ BitVec 10)" in out
+
+
+class TestSolve:
+    def test_solve_sat(self, nia_file, capsys):
+        assert main(["solve", nia_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("sat")
+        assert "x = 7" in out and "y = 11" in out
+
+    def test_solve_profiles(self, nia_file, capsys):
+        assert main(["solve", nia_file, "--profile", "corvus"]) == 0
+        assert "sat" in capsys.readouterr().out
+
+
+class TestArbitrage:
+    def test_arbitrage_verified(self, nia_file, capsys):
+        assert main(["arbitrage", nia_file]) == 0
+        out = capsys.readouterr().out
+        assert "case: verified-sat" in out
+        assert "verified model:" in out
+
+    def test_arbitrage_revert_message(self, tmp_path, capsys):
+        path = tmp_path / "unsat.smt2"
+        path.write_text(
+            "(declare-fun x () Int)(assert (> x 5))(assert (< x 3))(check-sat)"
+        )
+        assert main(["arbitrage", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "case: bounded-unsat" in out
+        assert "reverting" in out
+
+
+class TestAnalyze:
+    def test_analyze_report(self, nia_file, capsys):
+        assert main(["analyze", nia_file]) == 0
+        out = capsys.readouterr().out
+        assert "theory: int" in out
+        assert "largest constant: 77" in out
+        assert "variable assumption x:" in out
+
+
+class TestOptimize:
+    def test_optimize_bounded(self, bv_file, capsys):
+        assert main(["optimize", bv_file]) == 0
+        out = capsys.readouterr().out
+        assert "bvshl" in out  # strength-reduced multiply by 4
+
+    def test_optimize_rejects_unbounded(self, nia_file, capsys):
+        assert main(["optimize", nia_file]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["solve", "/nonexistent.smt2"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.smt2"
+        path.write_text("(assert (=")
+        assert main(["solve", str(path)]) == 1
+
+
+class TestReduce:
+    def test_reduce_verified(self, tmp_path, capsys):
+        path = tmp_path / "wide.smt2"
+        path.write_text(
+            "(declare-fun x () (_ BitVec 24))(declare-fun y () (_ BitVec 24))"
+            "(assert (= (bvmul x y) (_ bv77 24)))"
+            "(assert (bvsgt x (_ bv1 24)))(assert (bvsgt y x))"
+            "(assert (bvslt y (_ bv16 24)))(check-sat)"
+        )
+        assert main(["reduce", str(path), "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "case: verified-sat" in out
+        assert "24 -> 8 bits" in out

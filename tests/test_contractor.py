@@ -1,0 +1,285 @@
+"""Contractor soundness: contraction must never drop a solution."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.arith.contractor import (
+    Atom,
+    Box,
+    Contractor,
+    EQ,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    literals_to_atoms,
+    split_conjunction,
+)
+from repro.arith.interval import Interval
+from repro.smtlib import build, parse_term
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.sorts import INT
+
+
+class TestSplitConjunction:
+    def test_flattens_nested_ands(self):
+        p, q, r = build.BoolVar("p"), build.BoolVar("q"), build.BoolVar("r")
+        literals = split_conjunction(build.And(build.And(p, q), r))
+        assert set(literals) == {p, q, r}
+
+    def test_non_and_is_single_literal(self):
+        p = build.BoolVar("p")
+        assert split_conjunction(build.Not(p)) == [build.Not(p)]
+
+
+class TestLiteralsToAtoms:
+    def test_negation_flips_relation(self):
+        x = build.IntVar("x")
+        literal = build.Not(build.Le(x, build.IntConst(3)))
+        atoms, residual = literals_to_atoms([literal])
+        assert not residual
+        assert atoms[0].relation == GT
+
+    def test_double_negation(self):
+        x = build.IntVar("x")
+        literal = build.Not(build.Not(build.Lt(x, build.IntConst(3))))
+        atoms, _ = literals_to_atoms([literal])
+        assert atoms[0].relation == LT
+
+    def test_negated_equality_becomes_ne(self):
+        x = build.IntVar("x")
+        literal = build.Not(build.Eq(x, build.IntConst(3)))
+        atoms, _ = literals_to_atoms([literal])
+        assert atoms[0].relation == NE
+
+    def test_distinct_expands_pairwise(self):
+        a, b, c = (build.IntVar(n) for n in "abc")
+        atoms, residual = literals_to_atoms([build.Distinct(a, b, c)])
+        assert not residual
+        assert len(atoms) == 3
+        assert all(atom.relation == NE for atom in atoms)
+
+    def test_boolean_literals_are_residual(self):
+        p = build.BoolVar("p")
+        atoms, residual = literals_to_atoms([p])
+        assert not atoms and residual == [p]
+
+    def test_true_literal_dropped(self):
+        atoms, residual = literals_to_atoms([build.TRUE])
+        assert not atoms and not residual
+
+
+def _int_box(names, lo=-20, hi=20):
+    return Box({name: Interval(lo, hi) for name in names})
+
+
+def _solutions(literals, names, lo=-10, hi=10):
+    """All integer solutions by brute force."""
+    solutions = []
+
+    def recurse(index, assignment):
+        if index == len(names):
+            if all(evaluate(lit, assignment) for lit in literals):
+                solutions.append(dict(assignment))
+            return
+        for value in range(lo, hi + 1):
+            assignment[names[index]] = value
+            recurse(index + 1, assignment)
+
+    recurse(0, {})
+    return solutions
+
+
+class TestContractionSoundness:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_no_solution_lost(self, data):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        terms = {
+            "x": x,
+            "y": y,
+            "x+y": build.Add(x, y),
+            "x*y": build.Mul(x, y),
+            "x*x": build.Mul(x, x),
+            "x-y": build.Sub(x, y),
+            "-x": build.Neg(x),
+            "|y|": build.Abs(y),
+        }
+        literals = []
+        for _ in range(data.draw(st.integers(1, 3))):
+            left = terms[data.draw(st.sampled_from(sorted(terms)))]
+            constant = build.IntConst(data.draw(st.integers(-15, 15)))
+            op = data.draw(st.sampled_from(["le", "lt", "ge", "gt", "eq"]))
+            builder = {
+                "le": build.Le,
+                "lt": build.Lt,
+                "ge": build.Ge,
+                "gt": build.Gt,
+                "eq": build.Eq,
+            }[op]
+            literals.append(builder(left, constant))
+        atoms, residual = literals_to_atoms(literals)
+        assert not residual
+        contractor = Contractor(atoms)
+        box = _int_box(["x", "y"], -10, 10)
+        contracted = contractor.contract(box)
+        solutions = _solutions(literals, ["x", "y"])
+        if contracted is None:
+            assert not solutions, (literals, solutions)
+        else:
+            for solution in solutions:
+                for name, value in solution.items():
+                    assert contracted.get(name).contains(Fraction(value)), (
+                        literals,
+                        solution,
+                        contracted,
+                    )
+
+    def test_square_nonnegativity_derived(self):
+        x = build.IntVar("x")
+        literal = build.Lt(build.Mul(x, x), build.IntConst(0))
+        atoms, _ = literals_to_atoms([literal])
+        contractor = Contractor(atoms)
+        assert contractor.contract(Box({"x": Interval.top()})) is None
+
+    def test_equality_narrows_both_sides(self):
+        x = build.IntVar("x")
+        literal = build.Eq(build.Mul(x, x), build.IntConst(49))
+        atoms, _ = literals_to_atoms([literal])
+        contractor = Contractor(atoms)
+        contracted = contractor.contract(Box({"x": Interval.top()}))
+        interval = contracted.get("x")
+        assert interval.contains(Fraction(7)) and interval.contains(Fraction(-7))
+        assert not interval.contains(Fraction(8))
+
+    def test_linear_chain_propagates(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        literals = [
+            build.Ge(x, build.IntConst(5)),
+            build.Le(build.Add(x, y), build.IntConst(7)),
+        ]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(
+            Box({"x": Interval.top(), "y": Interval.top()})
+        )
+        assert contracted.get("y").hi <= 2
+
+    def test_strict_integer_narrowing(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        literals = [build.Lt(x, y), build.Lt(y, build.IntConst(3))]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(
+            Box({"x": Interval(0, 10), "y": Interval(0, 10)})
+        )
+        assert contracted.get("y").hi <= 2
+        assert contracted.get("x").hi <= 1
+
+    def test_certain_violation_detected(self):
+        x = build.IntVar("x")
+        literals = [build.Ge(x, build.IntConst(5)), build.Le(x, build.IntConst(2))]
+        atoms, _ = literals_to_atoms(literals)
+        assert Contractor(atoms).contract(Box({"x": Interval.top()})) is None
+
+
+class TestBox:
+    def test_widest_variable_prefers_unbounded(self):
+        box = Box({"a": Interval(0, 100), "b": Interval.top()})
+        assert box.widest_variable() == "b"
+
+    def test_widest_skips_points(self):
+        box = Box({"a": Interval.point(3), "b": Interval(0, 1)})
+        assert box.widest_variable() == "b"
+
+    def test_all_points_gives_none(self):
+        box = Box({"a": Interval.point(3)})
+        assert box.widest_variable() is None
+
+    def test_volume_bound(self):
+        box = Box({"a": Interval(0, 3), "b": Interval(0, 3)})
+        assert box.volume_bound(100) == 16
+        assert box.volume_bound(10) is None
+        assert Box({"a": Interval.top()}).volume_bound(10) is None
+
+
+class TestBackwardRules:
+    """Direct checks of individual backward-narrowing rules."""
+
+    def test_backward_subtraction(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        literals = [build.Eq(build.Sub(x, y), build.IntConst(5)),
+                    build.Ge(y, build.IntConst(10)),
+                    build.Le(y, build.IntConst(12))]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(
+            Box({"x": Interval.top(), "y": Interval.top()})
+        )
+        assert contracted.get("x").lo == 15
+        assert contracted.get("x").hi == 17
+
+    def test_backward_negation(self):
+        x = build.IntVar("x")
+        literals = [build.Le(build.Neg(x), build.IntConst(-7))]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(Box({"x": Interval.top()}))
+        assert contracted.get("x").lo == 7
+
+    def test_backward_abs_with_known_sign(self):
+        x = build.IntVar("x")
+        literals = [
+            build.Le(build.Abs(x), build.IntConst(9)),
+            build.Le(x, build.IntConst(-1)),
+        ]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(Box({"x": Interval.top()}))
+        assert contracted.get("x").lo == -9
+
+    def test_backward_cube_root(self):
+        x = build.IntVar("x")
+        # Power grouping requires a flat n-ary product (x * x * x); the
+        # nested Mul(Mul(x, x), x) form narrows less (conservatively).
+        cube = build.Mul(x, x, x)
+        literals = [build.Eq(cube, build.IntConst(343))]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(Box({"x": Interval.top()}))
+        # Odd roots narrow both sides: only x = 7 remains possible.
+        interval = contracted.get("x")
+        assert interval.contains(Fraction(7))
+        assert interval.lo is not None and interval.hi is not None
+
+    def test_forward_mod_range(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        from repro.smtlib.builders import Mod, IntConst
+        literals = [
+            build.Ge(Mod(x, IntConst(7)), build.IntConst(0)),
+            build.Eq(y, Mod(x, IntConst(7))),
+        ]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(
+            Box({"x": Interval(-100, 100), "y": Interval.top()})
+        )
+        assert contracted.get("y").hi <= 6
+
+    def test_forward_division_conservative(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        from repro.smtlib.builders import IntDiv
+        literals = [
+            build.Eq(y, IntDiv(x, build.IntConst(3))),
+            build.Ge(x, build.IntConst(9)),
+            build.Le(x, build.IntConst(12)),
+        ]
+        atoms, _ = literals_to_atoms(literals)
+        contracted = Contractor(atoms).contract(
+            Box({"x": Interval.top(), "y": Interval.top()})
+        )
+        # Conservative: y must at least include [3, 4].
+        assert contracted.get("y").contains(Fraction(3))
+        assert contracted.get("y").contains(Fraction(4))

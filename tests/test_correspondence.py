@@ -1,0 +1,118 @@
+"""Tests for sort correspondences (Definition 4.1) and their properties."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.correspondence import (
+    FixedPointShape,
+    INT_OVERFLOW_GUARDS,
+    INT_TO_BITVECTOR,
+    REAL_TO_FIXEDPOINT,
+    REAL_TO_FLOATINGPOINT,
+)
+from repro.errors import TransformError
+from repro.smtlib.sorts import fp_sort
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue, FPValue
+
+
+class TestIntCorrespondence:
+    @given(st.integers(-128, 127))
+    def test_phi_inverse_is_left_inverse(self, value):
+        """Property (ii): phi is a partial surjection with exact inverse."""
+        image = INT_TO_BITVECTOR.phi(value, 8)
+        assert image is not None
+        assert INT_TO_BITVECTOR.phi_inverse(image, 8) == value
+
+    def test_phi_is_partial(self):
+        assert INT_TO_BITVECTOR.phi(128, 8) is None
+        assert INT_TO_BITVECTOR.phi(-129, 8) is None
+        assert INT_TO_BITVECTOR.phi(127, 8) is not None
+
+    @given(st.integers(-(2**10), 2**10 - 1))
+    def test_monotone_widths_nest(self, value):
+        """Property (iii): gamma images nest as widths grow."""
+        narrow = INT_TO_BITVECTOR.phi(value, 11)
+        wide = INT_TO_BITVECTOR.phi(value, 12)
+        assert narrow is not None and wide is not None
+        assert wide.signed == narrow.signed
+
+    def test_operator_map_is_injective(self):
+        targets = list(INT_TO_BITVECTOR.operator_map.values()) + list(
+            INT_TO_BITVECTOR.comparison_map.values()
+        )
+        assert len(targets) == len(set(targets))
+
+    def test_mapping_contents(self):
+        assert INT_TO_BITVECTOR.map_operator(Op.MUL) is Op.BVMUL
+        assert INT_TO_BITVECTOR.map_operator(Op.LT) is Op.BVSLT
+        with pytest.raises(TransformError):
+            INT_TO_BITVECTOR.map_operator(Op.RDIV)
+
+    def test_every_arithmetic_op_has_a_guard(self):
+        for op in (Op.BVADD, Op.BVSUB, Op.BVMUL, Op.BVSDIV, Op.BVNEG):
+            assert op in INT_OVERFLOW_GUARDS
+
+
+class TestFixedPointShape:
+    def test_width_and_scale(self):
+        shape = FixedPointShape(8, 4)
+        assert shape.width == 12
+        assert shape.scale == 16
+
+    def test_minimums_enforced(self):
+        shape = FixedPointShape(0, -1)
+        assert shape.magnitude_bits >= 2 and shape.precision_bits == 0
+
+    def test_equality_and_hash(self):
+        assert FixedPointShape(8, 4) == FixedPointShape(8, 4)
+        assert len({FixedPointShape(8, 4), FixedPointShape(8, 4)}) == 1
+
+
+class TestRealFixedPointCorrespondence:
+    @given(st.integers(-500, 500))
+    def test_dyadic_roundtrip(self, numerator):
+        shape = FixedPointShape(10, 4)
+        value = Fraction(numerator, 16)
+        image = REAL_TO_FIXEDPOINT.phi(value, shape)
+        assert image is not None
+        assert REAL_TO_FIXEDPOINT.phi_inverse(image, shape) == value
+
+    def test_non_dyadic_has_no_image(self):
+        shape = FixedPointShape(10, 4)
+        assert REAL_TO_FIXEDPOINT.phi(Fraction(1, 10), shape) is None
+        assert REAL_TO_FIXEDPOINT.phi(Fraction(1, 32), shape) is None
+
+    def test_magnitude_overflow_has_no_image(self):
+        shape = FixedPointShape(4, 2)  # 6 bits total: [-32, 31] scaled by 4
+        assert REAL_TO_FIXEDPOINT.phi(Fraction(8), shape) is None
+        assert REAL_TO_FIXEDPOINT.phi(Fraction(7), shape) is not None
+
+    def test_phi_inverse_total_on_bounded_side(self):
+        shape = FixedPointShape(6, 2)
+        for bits in range(1 << shape.width):
+            value = REAL_TO_FIXEDPOINT.phi_inverse(BVValue(bits, shape.width), shape)
+            assert isinstance(value, Fraction)
+
+
+class TestRealFloatingPointCorrespondence:
+    def test_exact_value_roundtrip(self):
+        sort = fp_sort(8, 24)
+        image = REAL_TO_FLOATINGPOINT.phi(Fraction(3, 4), sort)
+        assert image is not None
+        assert REAL_TO_FLOATINGPOINT.phi_inverse(image, sort) == Fraction(3, 4)
+
+    def test_inexact_value_has_no_image(self):
+        sort = fp_sort(8, 24)
+        assert REAL_TO_FLOATINGPOINT.phi(Fraction(1, 10), sort) is None
+
+    def test_pathological_values_have_no_preimage(self):
+        sort = fp_sort(8, 24)
+        with pytest.raises(TransformError):
+            REAL_TO_FLOATINGPOINT.phi_inverse(FPValue.nan(8, 24), sort)
+
+    def test_operator_map(self):
+        assert REAL_TO_FLOATINGPOINT.map_operator(Op.ADD) is Op.FP_ADD
+        assert REAL_TO_FLOATINGPOINT.map_operator(Op.LE) is Op.FP_LEQ

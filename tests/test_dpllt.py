@@ -1,0 +1,112 @@
+"""Tests for the DPLL(T) loop over boolean structure."""
+
+import pytest
+
+from repro.arith.nia import NiaSolver
+from repro.arith.lia import LiaSolver
+from repro.smtlib import parse_script
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.solver.dpllt import solve_with_theory
+
+
+def run(text, factory=LiaSolver, budget=200_000):
+    script = parse_script(text)
+    status, model, theory_work, sat_work = solve_with_theory(
+        script, factory, budget=budget
+    )
+    return status, model, script
+
+
+class TestConjunctions:
+    def test_single_theory_call_for_conjunction(self):
+        status, model, script = run(
+            "(declare-fun x () Int)(assert (> x 3))(assert (< x 6))"
+        )
+        assert status == "sat"
+        assert evaluate_assertions(script.assertions, model)
+
+
+class TestDisjunctions:
+    def test_simple_or(self):
+        status, model, script = run(
+            "(declare-fun x () Int)"
+            "(assert (or (< x (- 10)) (> x 10)))(assert (>= x 0))"
+        )
+        assert status == "sat"
+        assert model["x"] > 10
+
+    def test_blocked_assignments_eventually_unsat(self):
+        status, model, _ = run(
+            "(declare-fun x () Int)"
+            "(assert (or (and (> x 5) (< x 4)) (and (> x 10) (< x 9))))"
+        )
+        assert status == "unsat"
+
+    def test_xor_structure(self):
+        status, model, script = run(
+            "(declare-fun x () Int)"
+            "(assert (xor (> x 0) (> x 5)))"
+        )
+        # xor true requires exactly one: so 0 < x <= 5.
+        assert status == "sat"
+        assert 0 < model["x"] <= 5
+
+    def test_implication_chain(self):
+        status, model, script = run(
+            "(declare-fun p () Bool)(declare-fun x () Int)"
+            "(assert (=> p (> x 100)))(assert p)"
+        )
+        assert status == "sat"
+        assert model["p"] is True and model["x"] > 100
+
+    def test_boolean_only(self):
+        status, model, _ = run(
+            "(declare-fun p () Bool)(declare-fun q () Bool)"
+            "(assert (or p q))(assert (not p))"
+        )
+        assert status == "sat"
+        assert model["q"] is True and model["p"] is False
+
+    def test_boolean_unsat(self):
+        status, _, _ = run(
+            "(declare-fun p () Bool)(assert p)(assert (not p))"
+        )
+        assert status == "unsat"
+
+    def test_ite_boolean_structure(self):
+        status, model, script = run(
+            "(declare-fun p () Bool)(declare-fun x () Int)"
+            "(assert (ite p (> x 3) (< x (- 3))))(assert (> x 0))"
+        )
+        assert status == "sat"
+        assert evaluate_assertions(script.assertions, model)
+
+    def test_nonlinear_atoms_with_structure(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (or (= (* x y) 12) (= (* x y) 35)))"
+            "(assert (> x 3))(assert (> y 3))"
+        )
+        status, model, _, _ = solve_with_theory(script, NiaSolver, budget=500_000)
+        assert status == "sat"
+        assert model["x"] * model["y"] == 35
+
+
+class TestModelCompletion:
+    def test_unconstrained_variables_get_defaults(self):
+        status, model, _ = run(
+            "(declare-fun x () Int)(declare-fun unused () Int)"
+            "(declare-fun q () Bool)(assert (> x 0))"
+        )
+        assert status == "sat"
+        assert "unused" in model and "q" in model
+
+
+class TestBudget:
+    def test_theory_budget_propagates_unknown(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))"
+        )
+        status, _, _, _ = solve_with_theory(script, NiaSolver, budget=5)
+        assert status == "unknown"

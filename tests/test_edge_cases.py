@@ -1,0 +1,147 @@
+"""Edge-case grab bag across layers.
+
+Small, deterministic checks for corners that the property tests reach
+only probabilistically: extreme widths, empty structures, boundary
+constants, and operator corner semantics.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SmtLibError
+from repro.smtlib import build, parse_script, parse_term, print_term
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.script import Script
+from repro.smtlib.sorts import INT, bv_sort
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue
+
+
+class TestWidthOne:
+    def test_width_one_bitvector_semantics(self):
+        one = build.BitVecConst(1, 1)
+        zero = build.BitVecConst(0, 1)
+        assert evaluate(build.BVAdd(one, one), {}).unsigned == 0  # wraps
+        assert evaluate(build.bv_compare(Op.BVSLT, one, zero), {}) is True
+        # In width 1, 1 is signed -1.
+        assert BVValue(1, 1).signed == -1
+
+    def test_width_one_solving(self):
+        from repro.bv.solver import solve_bounded_script
+
+        v = build.BitVecVar("v", 1)
+        script = Script.from_assertions(
+            [build.Eq(build.BVAdd(v, v), build.BitVecConst(0, 1))]
+        )
+        assert solve_bounded_script(script).status == "sat"
+
+
+class TestBoundaryConstants:
+    def test_int_min_style_constants(self):
+        # -2^(w-1) is representable; its negation overflows.
+        term = build.bv_overflow(
+            Op.BVSMULO, build.BitVecConst(-8, 4), build.BitVecConst(-1, 4)
+        )
+        assert evaluate(term, {}) is True
+
+    def test_abs_of_int_min_overflow_predicate(self):
+        term = build.BVNegO(build.BitVecConst(-8, 4))
+        assert evaluate(term, {}) is True
+        term = build.BVNegO(build.BitVecConst(7, 4))
+        assert evaluate(term, {}) is False
+
+    def test_transform_accepts_boundary_constant(self):
+        from repro.core.transform import transform_script
+
+        script = parse_script("(declare-fun x () Int)(assert (> x (- 128)))")
+        result = transform_script(script, "int", width=8)
+        constants = [
+            c.value.signed
+            for a in result.script.assertions
+            for c in a.constants()
+            if hasattr(c.value, "signed")
+        ]
+        assert -128 in constants
+
+
+class TestChainedOperators:
+    def test_xor_chain_parity(self):
+        p = [build.BoolVar(f"p{i}") for i in range(5)]
+        term = build.Xor(*p)
+        env_even = {f"p{i}": i < 2 for i in range(5)}
+        env_odd = {f"p{i}": i < 3 for i in range(5)}
+        assert evaluate(term, env_even) is False
+        assert evaluate(term, env_odd) is True
+
+    def test_nary_subtraction_left_fold(self):
+        term = parse_term("(- 10 3 2)", {})
+        assert evaluate(term, {}) == 5
+
+    def test_nary_division_chain(self):
+        declarations = {"a": bv_sort(8)}
+        term = parse_term("(bvadd a a a)", declarations)
+        assert evaluate(term, {"a": BVValue(5, 8)}).unsigned == 15
+
+
+class TestScriptEdges:
+    def test_empty_script_is_trivially_sat(self):
+        from repro.solver import solve_script
+
+        script = Script(logic="QF_LIA")
+        result = solve_script(script, budget=10_000)
+        assert result.is_sat
+
+    def test_duplicate_assertions_are_kept(self):
+        x = build.IntVar("x")
+        assertion = build.Gt(x, build.IntConst(0))
+        script = Script.from_assertions([assertion, assertion])
+        assert len(script.assertions) == 2
+
+    def test_conjunction_of_shared_assertions(self):
+        x = build.IntVar("x")
+        a = build.Gt(x, build.IntConst(0))
+        script = Script.from_assertions([a, a])
+        # And() flattens duplicates structurally but keeps both operands.
+        assert evaluate(script.conjunction(), {"x": 1}) is True
+
+
+class TestPrinterEdges:
+    def test_deeply_nested_neg(self):
+        x = build.IntVar("x")
+        term = build.Neg(build.Neg(x))
+        text = print_term(term)
+        assert text == "(- (- x))"
+
+    def test_zero_constants(self):
+        assert print_term(build.IntConst(0)) == "0"
+        assert print_term(build.RealConst(0)) == "0.0"
+        assert print_term(build.BitVecConst(0, 4)) == "(_ bv0 4)"
+
+    def test_fraction_with_negative_numerator(self):
+        text = print_term(build.RealConst(Fraction(-3, 4)))
+        assert text == "(- (/ 3.0 4.0))"
+        reparsed = parse_term(text, {})
+        assert evaluate(reparsed, {}) == Fraction(-3, 4)
+
+
+class TestEvaluatorTotality:
+    def test_int_div_by_zero_convention(self):
+        term = parse_term("(div 7 0)", {})
+        assert evaluate(term, {}) == 0
+        term = parse_term("(mod 7 0)", {})
+        assert evaluate(term, {}) == 7
+
+    def test_bv_division_conventions_match_smtlib(self):
+        a = build.BitVecConst(5, 8)
+        zero = build.BitVecConst(0, 8)
+        assert evaluate(build.bv_binary(Op.BVSDIV, a, zero), {}).signed == -1
+        negative = build.BitVecConst(-5, 8)
+        assert evaluate(build.bv_binary(Op.BVSDIV, negative, zero), {}).signed == 1
+
+    def test_ite_evaluates_both_branches_safely(self):
+        # Total semantics mean the untaken division branch cannot fault.
+        term = parse_term(
+            "(ite (> y 0) (div x y) 0)", {"x": INT, "y": INT}
+        )
+        assert evaluate(term, {"x": 10, "y": 0}) == 0

@@ -1,0 +1,43 @@
+"""Tests for the error hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            errors.SmtLibError,
+            errors.ParseError,
+            errors.SortError,
+            errors.EvaluationError,
+            errors.SolverError,
+            errors.UnsupportedLogicError,
+            errors.TransformError,
+            errors.BudgetExceeded,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_parse_error_location_formatting(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_location(self):
+        error = errors.ParseError("bad token")
+        assert str(error) == "bad token"
+
+    def test_budget_exceeded_payload(self):
+        error = errors.BudgetExceeded(150, 100)
+        assert error.spent == 150 and error.budget == 100
+        assert "150" in str(error)
+
+    def test_unsupported_logic_is_solver_error(self):
+        assert issubclass(errors.UnsupportedLogicError, errors.SolverError)
+
+    def test_catching_base_class_at_api_boundary(self):
+        from repro.smtlib import parse_script
+
+        with pytest.raises(errors.ReproError):
+            parse_script("(assert (= 1")

@@ -1,0 +1,113 @@
+"""Tests for the evaluation harness (stats, runner, experiment shapes)."""
+
+import math
+
+import pytest
+
+from repro.evaluation.runner import (
+    ExperimentCache,
+    TIMEOUT_WORK,
+    make_staub,
+    to_virtual_seconds,
+)
+from repro.evaluation.stats import format_ratio, geometric_mean, speedup
+from repro.evaluation import table1
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 1.0
+        assert geometric_mean([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_speedup(self):
+        assert speedup(10, 5) == 2.0
+        assert speedup(10, 0) > 1e6  # floored denominator
+
+    def test_format_ratio(self):
+        assert format_ratio(1.2345) == "1.234"
+        assert format_ratio(12.34) == "12.3"
+        assert format_ratio(123.4) == "123"
+
+    def test_virtual_seconds(self):
+        assert to_virtual_seconds(TIMEOUT_WORK) == pytest.approx(300, rel=0.01)
+
+
+class TestMakeStaub:
+    def test_strategies(self):
+        assert make_staub("staub").width_strategy == "absint"
+        assert make_staub("fixed8").width_strategy == 8
+        assert make_staub("fixed16").width_strategy == 16
+        assert make_staub(12).width_strategy == 12
+
+    def test_slot_attaches_optimizer(self):
+        assert make_staub("staub").optimizer is None
+        assert make_staub("staub", slot=True).optimizer is not None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_staub("huge")
+
+
+class TestCacheSmoke:
+    """Tiny-scale end-to-end run through the cache machinery."""
+
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return ExperimentCache(seed=3, scale=0.08, timeout=300_000)
+
+    def test_baseline_memoized(self, cache):
+        suite = cache.suite("QF_LIA")
+        name = suite.benchmarks[0].name
+        first = cache.baseline("QF_LIA", name, "zorro")
+        second = cache.baseline("QF_LIA", name, "zorro")
+        assert first is second
+
+    def test_arbitrage_memoized_across_aliases(self, cache):
+        suite = cache.suite("QF_LIA")
+        name = suite.benchmarks[0].name
+        assert cache.arbitrage("QF_LIA", name, "fixed8") is cache.arbitrage(
+            "QF_LIA", name, 8
+        )
+
+    def test_rows_have_portfolio_invariant(self, cache):
+        for logic in ("QF_LIA", "QF_NIA"):
+            for row in cache.rows(logic, "zorro", "staub"):
+                assert row["final"] <= row["t_pre"]
+                assert row["t_pre"] <= cache.timeout
+
+    def test_tractability_implies_timeout_and_verified(self, cache):
+        for row in cache.rows("QF_NIA", "corvus", "staub"):
+            if row["tractability"]:
+                assert row["timed_out"] and row["verified"]
+
+    def test_baseline_statuses_sane(self, cache):
+        for logic in ("QF_LIA",):
+            for benchmark in cache.suite(logic):
+                record = cache.baseline(logic, benchmark.name, "zorro")
+                if benchmark.expected and not record.timed_out:
+                    assert record.status == benchmark.expected, benchmark.name
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1.table1_rows()
+        assert len(rows) == 4
+        nia = next(r for r in rows if "Nonlinear Integer" in r["logic"])
+        assert nia["decidable"] == "No"
+        lia = next(r for r in rows if "Linear Integer" in r["logic"])
+        assert lia["theoretically_bounded"] == "Yes"
+        assert lia["practically_bounded"] == "No"
+
+    def test_bound_demonstration_is_impractical(self):
+        for example in table1.lia_bound_demonstration():
+            assert example["bits_needed"] > 64
+
+    def test_render(self):
+        text = table1.render()
+        assert "Linear Real Arithmetic" in text
+        assert "bitvector" in text

@@ -1,0 +1,193 @@
+"""Tests for the exact-semantics evaluator."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.smtlib import build, evaluate, parse_term
+from repro.smtlib.evaluator import euclidean_divmod, evaluate_assertions
+from repro.smtlib.sorts import INT, REAL, bv_sort
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue
+
+
+class TestEuclideanDivision:
+    """SMT-LIB division: remainder always in [0, |b|)."""
+
+    @given(st.integers(-200, 200), st.integers(-20, 20).filter(lambda b: b != 0))
+    def test_euclidean_invariants(self, a, b):
+        quotient, remainder = euclidean_divmod(a, b)
+        assert a == b * quotient + remainder
+        assert 0 <= remainder < abs(b)
+
+    def test_examples_from_smtlib_semantics(self):
+        assert euclidean_divmod(7, 2) == (3, 1)
+        assert euclidean_divmod(-7, 2) == (-4, 1)
+        assert euclidean_divmod(7, -2) == (-3, 1)
+        assert euclidean_divmod(-7, -2) == (4, 1)
+
+    def test_division_by_zero_is_total(self):
+        assert euclidean_divmod(5, 0) == (0, 5)
+
+
+class TestCoreOps:
+    def test_boolean_connectives(self):
+        p = build.BoolVar("p")
+        q = build.BoolVar("q")
+        env = {"p": True, "q": False}
+        assert evaluate(build.And(p, q), env) is False
+        assert evaluate(build.Or(p, q), env) is True
+        assert evaluate(build.Xor(p, q), env) is True
+        assert evaluate(build.Implies(p, q), env) is False
+        assert evaluate(build.Implies(q, p), env) is True
+
+    def test_ite(self):
+        x = build.IntVar("x")
+        term = build.Ite(build.Gt(x, build.IntConst(0)), x, build.Neg(x))
+        assert evaluate(term, {"x": -5}) == 5
+        assert evaluate(term, {"x": 7}) == 7
+
+    def test_distinct(self):
+        terms = [build.IntVar(n) for n in "abc"]
+        term = build.Distinct(*terms)
+        assert evaluate(term, {"a": 1, "b": 2, "c": 3}) is True
+        assert evaluate(term, {"a": 1, "b": 2, "c": 1}) is False
+
+
+class TestArithmetic:
+    def test_motivating_example(self):
+        term = parse_term(
+            "(= (+ (* x x x) (* y y y) (* z z z)) 855)",
+            {"x": INT, "y": INT, "z": INT},
+        )
+        assert evaluate(term, {"x": 7, "y": 8, "z": 0}) is True
+        assert evaluate(term, {"x": 7, "y": 8, "z": 1}) is False
+
+    def test_real_division_exact(self):
+        term = parse_term("(= (/ x 3.0) 0.5)", {"x": REAL})
+        assert evaluate(term, {"x": Fraction(3, 2)}) is True
+
+    def test_real_division_by_zero_is_zero(self):
+        term = parse_term("(/ 1.0 0.0)", {})
+        assert evaluate(term, {}) == 0
+
+    def test_abs_and_neg(self):
+        x = build.IntVar("x")
+        assert evaluate(build.Abs(x), {"x": -3}) == 3
+        assert evaluate(build.Neg(x), {"x": -3}) == 3
+
+    def test_to_real_to_int(self):
+        x = build.IntVar("x")
+        assert evaluate(build.ToReal(x), {"x": 3}) == Fraction(3)
+        r = build.RealVar("r")
+        assert evaluate(build.ToInt(r), {"r": Fraction(7, 2)}) == 3
+        assert evaluate(build.ToInt(r), {"r": Fraction(-7, 2)}) == -4
+
+
+class TestBitvectorSemantics:
+    """Spot checks; the exhaustive check is the bit-blaster fuzz test."""
+
+    def test_wraparound_add(self):
+        a = build.BitVecVar("a", 8)
+        term = build.BVAdd(a, a)
+        assert evaluate(term, {"a": BVValue(200, 8)}).unsigned == 144
+
+    def test_udiv_by_zero_all_ones(self):
+        a = build.BitVecVar("a", 8)
+        term = build.bv_binary(Op.BVUDIV, a, build.BitVecConst(0, 8))
+        assert evaluate(term, {"a": BVValue(5, 8)}).unsigned == 255
+
+    def test_urem_by_zero_is_dividend(self):
+        a = build.BitVecVar("a", 8)
+        term = build.bv_binary(Op.BVUREM, a, build.BitVecConst(0, 8))
+        assert evaluate(term, {"a": BVValue(5, 8)}).unsigned == 5
+
+    def test_sdiv_truncates_toward_zero(self):
+        term = build.bv_binary(
+            Op.BVSDIV, build.BitVecConst(-7, 8), build.BitVecConst(2, 8)
+        )
+        assert evaluate(term, {}).signed == -3
+
+    def test_smod_follows_divisor_sign(self):
+        term = build.bv_binary(
+            Op.BVSMOD, build.BitVecConst(7, 8), build.BitVecConst(-2, 8)
+        )
+        assert evaluate(term, {}).signed == -1
+
+    def test_srem_follows_dividend_sign(self):
+        term = build.bv_binary(
+            Op.BVSREM, build.BitVecConst(-7, 8), build.BitVecConst(2, 8)
+        )
+        assert evaluate(term, {}).signed == -1
+
+    def test_shift_beyond_width(self):
+        a = build.BitVecVar("a", 8)
+        term = build.bv_binary(Op.BVSHL, a, build.BitVecConst(9, 8))
+        assert evaluate(term, {"a": BVValue(255, 8)}).unsigned == 0
+
+    def test_ashr_fills_sign(self):
+        term = build.bv_binary(
+            Op.BVASHR, build.BitVecConst(-4, 8), build.BitVecConst(1, 8)
+        )
+        assert evaluate(term, {}).signed == -2
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    @settings(max_examples=200)
+    def test_smulo_matches_definition(self, a, b):
+        term = build.bv_overflow(
+            Op.BVSMULO, build.BitVecConst(a, 8), build.BitVecConst(b, 8)
+        )
+        assert evaluate(term, {}) == (not -128 <= a * b <= 127)
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    @settings(max_examples=200)
+    def test_saddo_matches_definition(self, a, b):
+        term = build.bv_overflow(
+            Op.BVSADDO, build.BitVecConst(a, 8), build.BitVecConst(b, 8)
+        )
+        assert evaluate(term, {}) == (not -128 <= a + b <= 127)
+
+    def test_sdivo_only_int_min_minus_one(self):
+        overflow = build.bv_overflow(
+            Op.BVSDIVO, build.BitVecConst(-128, 8), build.BitVecConst(-1, 8)
+        )
+        fine = build.bv_overflow(
+            Op.BVSDIVO, build.BitVecConst(-127, 8), build.BitVecConst(-1, 8)
+        )
+        assert evaluate(overflow, {}) is True
+        assert evaluate(fine, {}) is False
+
+    def test_extract_concat_roundtrip(self):
+        v = build.BitVecVar("v", 8)
+        term = build.Concat(build.Extract(7, 4, v), build.Extract(3, 0, v))
+        value = BVValue(0xA7, 8)
+        assert evaluate(term, {"v": value}) == value
+
+
+class TestErrors:
+    def test_missing_variable(self):
+        with pytest.raises(EvaluationError):
+            evaluate(build.IntVar("x"), {})
+
+    def test_wrong_sort_value(self):
+        with pytest.raises(EvaluationError):
+            evaluate(build.IntVar("x"), {"x": True})
+
+    def test_wrong_width_bv(self):
+        a = build.BitVecVar("a", 8)
+        with pytest.raises(EvaluationError):
+            evaluate(a, {"a": BVValue(1, 9)})
+
+    def test_real_accepts_int_value(self):
+        r = build.RealVar("r")
+        assert evaluate(r, {"r": 3}) == Fraction(3)
+
+
+class TestEvaluateAssertions:
+    def test_all_must_hold(self):
+        x = build.IntVar("x")
+        assertions = [build.Gt(x, build.IntConst(0)), build.Lt(x, build.IntConst(10))]
+        assert evaluate_assertions(assertions, {"x": 5}) is True
+        assert evaluate_assertions(assertions, {"x": 20}) is False

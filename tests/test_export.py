@@ -1,0 +1,49 @@
+"""Tests for the results exporter."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.evaluation.export import rows_as_dicts, to_csv, to_json, write_results
+from repro.evaluation.runner import ExperimentCache
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ExperimentCache(seed=21, scale=0.08, timeout=150_000)
+
+
+class TestExport:
+    def test_rows_cover_all_cells(self, cache):
+        rows = rows_as_dicts(cache, logics=("QF_LIA",))
+        suite_size = len(cache.suite("QF_LIA"))
+        assert len(rows) == suite_size * 2 * 3  # profiles x strategies
+
+    def test_json_round_trips(self, cache):
+        data = json.loads(to_json(cache, logics=("QF_LIA",)))
+        assert data
+        sample = data[0]
+        for field in ("logic", "profile", "strategy", "t_pre", "final"):
+            assert field in sample
+
+    def test_csv_has_header_and_rows(self, cache):
+        text = to_csv(cache, logics=("QF_LIA",))
+        reader = csv.DictReader(io.StringIO(text))
+        rows = list(reader)
+        assert rows
+        assert set(("logic", "profile", "final")) <= set(rows[0])
+
+    def test_write_results(self, cache, tmp_path):
+        json_path = tmp_path / "results.json"
+        csv_path = tmp_path / "results.csv"
+        written = write_results(
+            cache, json_path=str(json_path), csv_path=str(csv_path), logics=("QF_LIA",)
+        )
+        assert len(written) == 2
+        assert json_path.exists() and csv_path.exists()
+
+    def test_portfolio_invariant_in_export(self, cache):
+        for record in rows_as_dicts(cache, logics=("QF_LIA",)):
+            assert record["final"] <= record["t_pre"]

@@ -1,0 +1,121 @@
+"""Tests for bound inference (Section 4.2's analysis pass)."""
+
+import pytest
+
+from repro.core.absint import MagPrec
+from repro.core.inference import infer_bounds
+from repro.errors import TransformError
+from repro.smtlib import parse_script
+
+
+def infer(text):
+    return infer_bounds(parse_script(text))
+
+
+class TestIntegerInference:
+    def test_figure4_example(self):
+        """Paper Fig. 4: largest constant 15, assumption covers b = 16."""
+        inference = infer(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (>= a 15))(assert (< (- a b) 0))"
+        )
+        assert inference.theory == "int"
+        assert inference.largest_constant == 15
+        # x = width(15) + 1 = 6 (tight widths), subtraction adds one.
+        assert inference.assumption == 6
+        assert inference.root == inference.assumption + 1
+
+    def test_motivating_example_structure(self):
+        inference = infer(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))"
+        )
+        assert inference.largest_constant == 855
+        assert inference.assumption == 12  # width(855)=11, plus one
+        # Root: three cube widths 3x=36, two fold additions -> 38.
+        assert inference.root == 38
+
+    def test_linear_constraint_small_root(self):
+        inference = infer(
+            "(declare-fun x () Int)(assert (> x 100))(assert (< x 200))"
+        )
+        assert inference.root <= inference.assumption + 1
+
+    def test_multiplication_adds_widths(self):
+        inference = infer(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (* x y) 10))"
+        )
+        assert inference.root == 2 * inference.assumption
+
+    def test_division_and_mod(self):
+        inference = infer(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (div x y) (mod x y)))"
+        )
+        assert inference.root == inference.assumption + 1
+
+    def test_no_constants_gives_floor_assumption(self):
+        inference = infer(
+            "(declare-fun x () Int)(declare-fun y () Int)(assert (< x y))"
+        )
+        assert inference.assumption == 3
+
+    def test_node_widths_populated(self):
+        script = parse_script("(declare-fun x () Int)(assert (= (* x x) 49))")
+        inference = infer_bounds(script)
+        term = script.assertions[0]
+        assert inference.node_widths[term.tid] == inference.root
+        square = term.args[0]
+        assert inference.node_widths[square.tid] == 2 * inference.assumption
+
+
+class TestRealInference:
+    def test_dyadic_constants(self):
+        inference = infer(
+            "(declare-fun x () Real)(assert (= (* x x) 2.25))"
+        )
+        assert inference.theory == "real"
+        assumption = inference.assumption
+        assert isinstance(assumption, MagPrec)
+        assert assumption.precision == 3  # dig(9/4) = 2, plus one
+
+    def test_decimal_constant_precision_proxy(self):
+        inference = infer("(declare-fun x () Real)(assert (> x 0.1))")
+        # 1/10 has no finite binary expansion; assumption uses a finite
+        # proxy and verification handles the inexactness.
+        assert inference.assumption.precision is not None
+
+    def test_multiplication_adds_both_components(self):
+        inference = infer(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (> (* x y) 2.0))"
+        )
+        assumption = inference.assumption
+        assert inference.root.magnitude >= 2 * assumption.magnitude
+        assert inference.root.precision == 2 * assumption.precision
+
+    def test_division_uses_modified_rule(self):
+        inference = infer(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (> (/ x y) 2.0))"
+        )
+        # Same growth as multiplication (end of Section 4.2), never
+        # infinite from division alone.
+        assert inference.root.precision is not None
+
+
+class TestRejections:
+    def test_mixed_sorts_rejected(self):
+        with pytest.raises(TransformError):
+            infer(
+                "(declare-fun x () Int)(declare-fun y () Real)"
+                "(assert (> x 0))(assert (> y 0.0))"
+            )
+
+    def test_to_real_rejected(self):
+        with pytest.raises(TransformError):
+            infer(
+                "(declare-fun x () Int)"
+                "(assert (> (to_real x) 0.5))"
+            )

@@ -1,0 +1,111 @@
+"""Cross-module integration tests: the full story on single constraints.
+
+Each test walks a constraint through the complete pipeline the way the
+evaluation harness does -- baseline solve, arbitrage, verification,
+portfolio -- and checks the *semantic* agreements between the layers
+(bounded answers vs unbounded answers vs exact evaluation).
+"""
+
+import pytest
+
+from repro.core import Staub
+from repro.core.pipeline import portfolio_time
+from repro.evaluation.runner import make_staub
+from repro.slot import optimize_script
+from repro.smtlib import parse_script, print_script
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.solver import solve_script
+
+
+class TestAgreementBetweenLayers:
+    CONSTRAINTS = [
+        # (text, expected status)
+        ("(declare-fun x () Int)(assert (= (* x x) 169))", "sat"),
+        ("(declare-fun x () Int)(assert (= (* x x) 170))", "unsat"),
+        (
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (+ (* x x) (* y y)) 125))(assert (< 0 x))(assert (< x y))",
+            "sat",
+        ),
+        (
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= (+ (* 7 a) (* 11 b)) 59))(assert (>= a 0))(assert (>= b 0))",
+            "unsat",
+        ),
+        (
+            "(declare-fun x () Real)(assert (= (* 4.0 x) 3.0))",
+            "sat",
+        ),
+    ]
+
+    @pytest.mark.parametrize("text,expected", CONSTRAINTS)
+    def test_profiles_agree_with_ground_truth(self, text, expected):
+        script = parse_script(text)
+        for profile in ("zorro", "corvus"):
+            result = solve_script(script, budget=1_200_000, profile=profile)
+            if not result.is_unknown:
+                assert result.status == expected, (profile, text)
+            if result.is_sat:
+                assert evaluate_assertions(script.assertions, result.model)
+
+    @pytest.mark.parametrize("text,expected", CONSTRAINTS)
+    def test_arbitrage_never_contradicts(self, text, expected):
+        script = parse_script(text)
+        report = Staub().run(script, budget=1_200_000)
+        if report.case == "verified-sat":
+            assert expected == "sat"
+            assert evaluate_assertions(script.assertions, report.model)
+
+
+class TestRoundTripThroughSmtlib:
+    def test_transformed_script_roundtrips_and_solves(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (* x y) 143))(assert (> x 1))(assert (< x y))"
+        )
+        transformed, _, _ = Staub().transform(script)
+        reparsed = parse_script(print_script(transformed.script))
+        result = solve_script(reparsed, budget=1_200_000)
+        assert result.is_sat
+        back = transformed.back_map(result.model)
+        assert evaluate_assertions(script.assertions, back)
+
+    def test_optimized_script_roundtrips(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (= (* x 8) 88))"
+        )
+        transformed, _, _ = Staub().transform(script)
+        optimized, _ = optimize_script(transformed.script)
+        reparsed = parse_script(print_script(optimized))
+        result = solve_script(reparsed, budget=1_200_000)
+        assert result.is_sat
+        assert transformed.back_map(result.model)["x"] == 11
+
+
+class TestPortfolioInvariants:
+    def test_portfolio_never_worse_on_suite_sample(self):
+        from repro.benchgen import suite_for
+
+        suite = suite_for("QF_NIA", seed=5, scale=0.15)
+        staub = make_staub("staub")
+        for bench in suite:
+            baseline = solve_script(bench.script, budget=400_000, profile="zorro")
+            t_pre = 400_000 if baseline.is_unknown else baseline.work
+            report = staub.run(bench.script, budget=400_000)
+            final = portfolio_time(t_pre, report)
+            assert final <= t_pre
+            if report.case == "verified-sat" and bench.expected == "unsat":
+                pytest.fail(f"verified a model for unsat benchmark {bench.name}")
+
+    def test_verified_models_check_against_originals(self):
+        from repro.benchgen import suite_for
+
+        for logic in ("QF_NIA", "QF_LIA", "QF_NRA", "QF_LRA"):
+            suite = suite_for(logic, seed=5, scale=0.12)
+            staub = make_staub("staub")
+            for bench in suite:
+                report = staub.run(bench.script, budget=400_000)
+                if report.case == "verified-sat":
+                    assert evaluate_assertions(
+                        bench.script.assertions, report.model
+                    ), bench.name

@@ -1,0 +1,94 @@
+"""Tests for the SMT-LIB tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.smtlib.lexer import (
+    DECIMAL,
+    KEYWORD,
+    LPAREN,
+    NUMERAL,
+    RPAREN,
+    STRING,
+    SYMBOL,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)]
+
+
+class TestBasics:
+    def test_parens(self):
+        assert kinds("()") == [LPAREN, RPAREN]
+
+    def test_symbols(self):
+        assert texts("declare-fun x bvadd") == ["declare-fun", "x", "bvadd"]
+
+    def test_numerals_and_decimals(self):
+        assert kinds("855 8.5") == [NUMERAL, DECIMAL]
+
+    def test_operators_are_symbols(self):
+        assert texts("<= >= + - * / =") == ["<=", ">=", "+", "-", "*", "/", "="]
+
+    def test_keyword(self):
+        tokens = tokenize(":status")
+        assert tokens[0].kind == KEYWORD
+        assert tokens[0].text == ":status"
+
+    def test_comments_skipped(self):
+        assert texts("x ; the rest is ignored\ny") == ["x", "y"]
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []
+
+
+class TestQuotedForms:
+    def test_quoted_symbol(self):
+        tokens = tokenize("|hello world|")
+        assert tokens[0].kind == SYMBOL
+        assert tokens[0].text == "hello world"
+
+    def test_unterminated_quoted_symbol(self):
+        with pytest.raises(ParseError):
+            tokenize("|oops")
+
+    def test_string_literal(self):
+        tokens = tokenize('"a string"')
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "a string"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize('"say ""hi"""')
+        assert tokens[0].text == 'say "hi"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+
+class TestBitvectorLiterals:
+    def test_binary_literal(self):
+        assert texts("#b1010") == ["#b1010"]
+
+    def test_hex_literal(self):
+        assert texts("#xFF") == ["#xFF"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("(assert\n  (= x 1))")
+        by_text = {token.text: token for token in tokens}
+        assert by_text["assert"].line == 1
+        assert by_text["="].line == 2
+        assert by_text["="].column == 4
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError) as error:
+            tokenize("x \x01")
+        assert "unexpected character" in str(error.value)

@@ -1,0 +1,137 @@
+"""Tests for the branch-and-bound LIA engine."""
+
+import pytest
+
+from repro.arith.contractor import split_conjunction
+from repro.arith.lia import LiaSolver, solve_lia_conjunction
+from repro.errors import UnsupportedLogicError
+from repro.smtlib import parse_script
+from repro.smtlib.evaluator import evaluate_assertions
+
+
+def solve_text(text, budget=500_000):
+    script = parse_script(text)
+    literals = split_conjunction(script.conjunction())
+    return (
+        solve_lia_conjunction(literals, script.declarations, budget=budget),
+        script,
+    )
+
+
+class TestSat:
+    def test_figure4_example(self):
+        result, script = solve_text(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (>= a 15))(assert (< (- a b) 0))"
+        )
+        assert result.status == "sat"
+        assert evaluate_assertions(script.assertions, result.model)
+        assert result.model["b"] >= 16  # witness exceeds the largest constant
+
+    def test_equality_system(self):
+        result, script = solve_text(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= (+ (* 3 a) (* 5 b)) 44))"
+            "(assert (>= (+ a b) 3))(assert (<= (- a b) 7))"
+        )
+        assert result.status == "sat"
+        assert evaluate_assertions(script.assertions, result.model)
+
+    def test_branching_required(self):
+        # Relaxation optimum is fractional; B&B must branch.
+        result, script = solve_text(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (+ (* 2 x) (* 2 y)) 10))"
+            "(assert (> x 0))(assert (> y 0))"
+        )
+        assert result.status == "sat"
+        assert evaluate_assertions(script.assertions, result.model)
+
+    def test_coin_problem_sat(self):
+        result, script = solve_text(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (+ (* 7 x) (* 11 y)) 58))"
+            "(assert (>= x 0))(assert (>= y 0))"
+        )
+        assert result.status == "sat"
+        assert result.model == {"x": 1, "y": 51 // 11} or evaluate_assertions(
+            script.assertions, result.model
+        )
+
+    def test_disequality_branching(self):
+        result, script = solve_text(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= (+ a b) 10))(assert (distinct a b))"
+            "(assert (>= a 5))(assert (<= a 5))"
+        )
+        # a is pinned to 5, so b = 5, violating distinct: unsat.
+        assert result.status == "unsat"
+
+
+class TestUnsat:
+    def test_gcd_cut(self):
+        result, _ = solve_text(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= (+ (* 2 a) (* 2 b)) 1))"
+        )
+        assert result.status == "unsat"
+        assert result.work < 100  # caught by preprocessing, not search
+
+    def test_no_integer_between(self):
+        result, _ = solve_text(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (< a b))(assert (< b (+ a 1)))"
+        )
+        assert result.status == "unsat"
+
+    def test_empty_window(self):
+        result, _ = solve_text(
+            "(declare-fun x () Int)"
+            "(assert (> (* 3 x) 4))(assert (< (* 3 x) 6))"
+        )
+        # 3x must be 5: impossible.
+        assert result.status == "unsat"
+
+    def test_contradictory_bounds(self):
+        result, _ = solve_text(
+            "(declare-fun x () Int)(assert (>= x 5))(assert (<= x 4))"
+        )
+        assert result.status == "unsat"
+
+
+class TestBudget:
+    def test_budget_gives_unknown(self):
+        result, _ = solve_text(
+            "(declare-fun a () Int)(declare-fun b () Int)(declare-fun c () Int)"
+            "(assert (= (+ (* 13 a) (* 17 b) (* 19 c)) 7919))"
+            "(assert (>= a 0))(assert (>= b 0))(assert (>= c 0))"
+            "(assert (distinct a b))",
+            budget=3,
+        )
+        assert result.status in ("unknown", "sat")
+
+
+class TestGroundAndEdgeCases:
+    def test_ground_true(self):
+        result, _ = solve_text("(assert (= 1 1))")
+        assert result.status == "sat"
+
+    def test_ground_false(self):
+        result, _ = solve_text("(assert (= (+ 1 1) 3))")
+        assert result.status == "unsat"
+
+    def test_rejects_boolean_residual(self):
+        script = parse_script("(declare-fun p () Bool)(assert p)")
+        with pytest.raises(UnsupportedLogicError):
+            LiaSolver(script.assertions, script.declarations)
+
+    def test_real_relaxation_used_for_lra(self):
+        # With no integer variables, the engine is a complete LRA solver.
+        result, script = solve_text(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (= (+ x y) 1.0))(assert (= (- x y) 0.0))"
+        )
+        assert result.status == "sat"
+        from fractions import Fraction
+
+        assert result.model["x"] == Fraction(1, 2)

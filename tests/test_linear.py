@@ -1,0 +1,98 @@
+"""Tests for linear-form extraction."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.linear import LinearExpr, NonlinearTermError, linearize
+from repro.smtlib import build, parse_term
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.sorts import INT, REAL
+
+
+class TestLinearExpr:
+    def test_arithmetic(self):
+        x = LinearExpr.variable("x")
+        y = LinearExpr.variable("y")
+        expr = (x * 2) + (y * -3) + 5
+        assert expr.constant == 5
+        assert expr.coefficients == {"x": 2, "y": -3}
+
+    def test_cancellation_removes_entries(self):
+        x = LinearExpr.variable("x")
+        expr = x - x
+        assert expr.is_constant
+        assert not expr.coefficients
+
+    def test_scalar_zero_collapses(self):
+        x = LinearExpr.variable("x")
+        assert (x * 0).is_constant
+
+    def test_evaluate(self):
+        x = LinearExpr.variable("x")
+        expr = x * 3 + 1
+        assert expr.evaluate({"x": Fraction(2)}) == 7
+
+    def test_neg(self):
+        x = LinearExpr.variable("x")
+        expr = -(x + 1)
+        assert expr.constant == -1
+        assert expr.coefficients == {"x": -1}
+
+
+class TestLinearize:
+    def test_affine_combination(self):
+        term = parse_term("(+ (* 3 x) (- y 2))", {"x": INT, "y": INT})
+        expr = linearize(term)
+        assert expr.coefficients == {"x": 3, "y": 1}
+        assert expr.constant == -2
+
+    def test_constant_times_constant(self):
+        term = parse_term("(* 3 4)", {})
+        assert linearize(term).constant == 12
+
+    def test_division_by_constant(self):
+        term = parse_term("(/ x 4.0)", {"x": REAL})
+        expr = linearize(term)
+        assert expr.coefficients == {"x": Fraction(1, 4)}
+
+    def test_variable_product_rejected(self):
+        term = parse_term("(* x y)", {"x": INT, "y": INT})
+        with pytest.raises(NonlinearTermError):
+            linearize(term)
+
+    def test_variable_divisor_rejected(self):
+        term = parse_term("(/ x y)", {"x": REAL, "y": REAL})
+        with pytest.raises(NonlinearTermError):
+            linearize(term)
+
+    def test_division_by_zero_rejected(self):
+        term = parse_term("(/ x 0.0)", {"x": REAL})
+        with pytest.raises(NonlinearTermError):
+            linearize(term)
+
+    def test_abs_rejected(self):
+        term = parse_term("(abs x)", {"x": INT})
+        with pytest.raises(NonlinearTermError):
+            linearize(term)
+
+    @given(
+        st.integers(-9, 9),
+        st.integers(-9, 9),
+        st.integers(-20, 20),
+        st.integers(-5, 5),
+        st.integers(-5, 5),
+    )
+    @settings(max_examples=100)
+    def test_linearize_agrees_with_evaluator(self, a, b, c, xv, yv):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        term = build.Add(
+            build.Mul(build.IntConst(a), x),
+            build.Mul(build.IntConst(b), y),
+            build.IntConst(c),
+        )
+        expr = linearize(term)
+        env = {"x": xv, "y": yv}
+        assert expr.evaluate(env) == evaluate(term, env)

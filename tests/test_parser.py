@@ -1,0 +1,170 @@
+"""Tests for the SMT-LIB parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.smtlib import build, parse_script, parse_term
+from repro.smtlib.sorts import BOOL, INT, REAL, bv_sort, fp_sort
+from repro.smtlib.terms import Op
+
+
+class TestCommands:
+    def test_declare_fun_and_assert(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 3))(check-sat)"
+        )
+        assert script.declarations == {"x": INT}
+        assert len(script.assertions) == 1
+
+    def test_declare_const(self):
+        script = parse_script("(declare-const b Bool)(assert b)")
+        assert script.declarations == {"b": BOOL}
+
+    def test_set_logic(self):
+        script = parse_script("(set-logic QF_NIA)(declare-fun x () Int)(assert (= x 1))")
+        assert script.logic == "QF_NIA"
+
+    def test_logic_inferred_when_missing(self):
+        script = parse_script("(declare-fun x () Int)(assert (= (* x x) 4))")
+        assert script.logic == "QF_NIA"
+
+    def test_set_info_ignored(self):
+        script = parse_script('(set-info :status sat)(declare-fun x () Int)(assert (= x 1))')
+        assert len(script.assertions) == 1
+
+    def test_define_fun_zero_arity_macro(self):
+        script = parse_script(
+            "(declare-fun x () Int)"
+            "(define-fun twice () Int (* 2 x))"
+            "(assert (= twice 6))"
+        )
+        assertion = script.assertions[0]
+        assert assertion.args[0].op is Op.MUL
+
+    def test_define_fun_with_parameters(self):
+        script = parse_script(
+            "(declare-fun a () Int)"
+            "(define-fun sq ((n Int)) Int (* n n))"
+            "(assert (= (sq a) 49))"
+        )
+        assertion = script.assertions[0]
+        square = assertion.args[0]
+        assert square.op is Op.MUL
+        assert square.args[0].name == "a"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(push 1)")
+
+    def test_nonzero_arity_declare_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(declare-fun f (Int) Int)")
+
+
+class TestSorts:
+    def test_bitvec_sort(self):
+        script = parse_script("(declare-fun v () (_ BitVec 12))(assert (= v (_ bv855 12)))")
+        assert script.declarations["v"] is bv_sort(12)
+
+    def test_fp_sort(self):
+        script = parse_script("(declare-fun f () (_ FloatingPoint 8 24))(assert (fp.isNaN f))")
+        assert script.declarations["f"] is fp_sort(8, 24)
+
+    def test_float32_alias(self):
+        script = parse_script("(declare-fun f () Float32)(assert (fp.isNaN f))")
+        assert script.declarations["f"] is fp_sort(8, 24)
+
+
+class TestTerms:
+    def test_negative_literal_folds(self):
+        term = parse_term("(- 5)")
+        assert term.is_const and term.value == -5
+
+    def test_decimal_literal(self):
+        term = parse_term("2.5")
+        assert term.value == Fraction(5, 2)
+
+    def test_rational_via_division(self):
+        term = parse_term("(/ 9.0 4.0)")
+        # Structural division of literals; evaluator reduces it.
+        assert term.op is Op.RDIV
+
+    def test_bv_literals(self):
+        assert parse_term("(_ bv855 12)").value.unsigned == 855
+        assert parse_term("#b1010").value.unsigned == 10
+        assert parse_term("#xff").value.unsigned == 255
+
+    def test_chainable_comparison(self):
+        term = parse_term("(< 1 2 3)")
+        assert term.op is Op.AND
+
+    def test_chained_equality(self):
+        term = parse_term("(= 1 1 1)")
+        assert term.op is Op.AND
+
+    def test_let_binding(self):
+        declarations = {"x": INT}
+        term = parse_term("(let ((y (* x x))) (> y 4))", declarations)
+        assert term.op is Op.GT
+        assert term.args[0].op is Op.MUL
+
+    def test_let_is_parallel(self):
+        declarations = {"x": INT}
+        term = parse_term("(let ((x 1) (y x)) (= x y))", declarations)
+        # y binds to the OUTER x (the variable), not to 1.
+        left, right = term.args
+        assert left.is_const and left.value == 1
+        assert right.is_var and right.name == "x"
+
+    def test_indexed_extract(self):
+        declarations = {"v": bv_sort(8)}
+        term = parse_term("((_ extract 7 4) v)", declarations)
+        assert term.op is Op.EXTRACT
+        assert term.payload == (7, 4)
+        assert term.sort.width == 4
+
+    def test_zero_extend(self):
+        declarations = {"v": bv_sort(8)}
+        term = parse_term("((_ zero_extend 4) v)", declarations)
+        assert term.sort.width == 12
+
+    def test_undeclared_symbol_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("(> x 1)")
+
+    def test_fp_special_literals(self):
+        nan = parse_term("(_ NaN 8 24)")
+        assert nan.value.is_nan
+        inf = parse_term("(_ -oo 8 24)")
+        assert inf.value.is_inf and inf.value.sign == 1
+        zero = parse_term("(_ +zero 8 24)")
+        assert zero.value.is_zero
+
+    def test_fp_arith_with_rne(self):
+        declarations = {"a": fp_sort(8, 24), "b": fp_sort(8, 24)}
+        term = parse_term("(fp.add RNE a b)", declarations)
+        assert term.op is Op.FP_ADD
+        assert len(term.args) == 2
+
+    def test_mixed_int_real_comparison_promotes(self):
+        declarations = {"x": REAL}
+        term = parse_term("(< x 3)", declarations)
+        assert term.args[1].sort is REAL
+
+    def test_nary_bv_operators_fold(self):
+        declarations = {"a": bv_sort(4), "b": bv_sort(4), "c": bv_sort(4)}
+        term = parse_term("(bvadd a b c)", declarations)
+        assert term.op is Op.BVADD
+        assert term.args[0].op is Op.BVADD
+
+    def test_implies_right_associates(self):
+        declarations = {"p": BOOL, "q": BOOL, "r": BOOL}
+        term = parse_term("(=> p q r)", declarations)
+        assert term.op is Op.IMPLIES
+        assert term.args[1].op is Op.IMPLIES
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_script("(assert (= 1 1)")

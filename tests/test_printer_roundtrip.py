@@ -1,0 +1,147 @@
+"""Printer tests, including the parse(print(t)) round-trip property."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smtlib import build, parse_script, parse_term, print_script, print_term
+from repro.smtlib.script import Script
+from repro.smtlib.sorts import INT, REAL, bv_sort
+from repro.smtlib.terms import Op
+
+
+class TestLiterals:
+    def test_positive_int(self):
+        assert print_term(build.IntConst(42)) == "42"
+
+    def test_negative_int(self):
+        assert print_term(build.IntConst(-5)) == "(- 5)"
+
+    def test_real_whole(self):
+        assert print_term(build.RealConst(3)) == "3.0"
+
+    def test_real_fraction(self):
+        assert print_term(build.RealConst(Fraction(9, 4))) == "(/ 9.0 4.0)"
+
+    def test_negative_real(self):
+        assert print_term(build.RealConst(Fraction(-1, 2))) == "(- (/ 1.0 2.0))"
+
+    def test_bv_literal(self):
+        assert print_term(build.BitVecConst(855, 12)) == "(_ bv855 12)"
+
+    def test_booleans(self):
+        assert print_term(build.TRUE) == "true"
+        assert print_term(build.FALSE) == "false"
+
+
+class TestApplications:
+    def test_nested_application(self):
+        x = build.IntVar("x")
+        term = build.Eq(build.Mul(x, x), build.IntConst(4))
+        assert print_term(term) == "(= (* x x) 4)"
+
+    def test_extract_spelling(self):
+        v = build.BitVecVar("v", 8)
+        assert print_term(build.Extract(7, 4, v)) == "((_ extract 7 4) v)"
+
+    def test_zero_extend_spelling(self):
+        v = build.BitVecVar("v", 8)
+        assert print_term(build.ZeroExtend(4, v)) == "((_ zero_extend 4) v)"
+
+    def test_fp_arith_includes_rounding_mode(self):
+        a = build.FPVar("a", 8, 24)
+        assert print_term(build.fp_binary(Op.FP_ADD, a, a)) == "(fp.add RNE a a)"
+
+    def test_neg_prints_as_unary_minus(self):
+        x = build.IntVar("x")
+        assert print_term(build.Neg(x)) == "(- x)"
+
+
+class TestScriptPrinting:
+    def test_full_script(self):
+        x = build.IntVar("x")
+        script = Script.from_assertions([build.Gt(x, build.IntConst(3))], logic="QF_LIA")
+        text = print_script(script)
+        assert "(set-logic QF_LIA)" in text
+        assert "(declare-fun x () Int)" in text
+        assert "(assert (> x 3))" in text
+        assert text.rstrip().endswith("(check-sat)")
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property: parse(print(t)) is t (hash-consed identity)
+# ---------------------------------------------------------------------------
+
+
+def int_terms(max_depth=4):
+    leaves = st.one_of(
+        st.integers(-1000, 1000).map(build.IntConst),
+        st.sampled_from(["x", "y", "z"]).map(build.IntVar),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: build.Add(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: build.Sub(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: build.Mul(p[0], p[1])),
+            children.map(build.Neg),
+            children.map(build.Abs),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+def bool_terms():
+    def atoms():
+        pair = st.tuples(int_terms(), int_terms())
+        return st.one_of(
+            pair.map(lambda p: build.Lt(p[0], p[1])),
+            pair.map(lambda p: build.Le(p[0], p[1])),
+            pair.map(lambda p: build.Eq(p[0], p[1])),
+        )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: build.And(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: build.Or(p[0], p[1])),
+            children.map(build.Not),
+            st.tuples(children, children).map(lambda p: build.Implies(p[0], p[1])),
+        )
+
+    return st.recursive(atoms(), extend, max_leaves=8)
+
+
+class TestRoundTrip:
+    @given(bool_terms())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_print_roundtrip_is_identity(self, term):
+        declarations = {name: INT for name in term.variables()}
+        reparsed = parse_term(print_term(term), declarations)
+        assert reparsed is term
+
+    @given(st.integers(-(10**9), 10**9))
+    def test_int_literal_roundtrip(self, value):
+        declarations = {}
+        assert parse_term(print_term(build.IntConst(value)), declarations).value == value
+
+    @given(st.fractions(min_value=-1000, max_value=1000))
+    def test_real_literal_roundtrip_semantics(self, value):
+        term = build.RealConst(value)
+        reparsed = parse_term(print_term(term), {})
+        from repro.smtlib.evaluator import evaluate
+
+        assert evaluate(reparsed, {}) == Fraction(value)
+
+    def test_script_roundtrip(self):
+        source = (
+            "(set-logic QF_NIA)"
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (+ (* x x x) (* y y y)) 855))"
+            "(assert (distinct x y))"
+            "(check-sat)"
+        )
+        script = parse_script(source)
+        reparsed = parse_script(print_script(script))
+        assert reparsed.assertions == script.assertions
+        assert reparsed.declarations == script.declarations

@@ -1,0 +1,53 @@
+"""Behavioral contracts of the two solver profiles.
+
+These pin the asymmetries the evaluation story depends on, so a future
+engine change that erases them fails loudly here rather than silently
+flattening the tables.
+"""
+
+from repro.smtlib import parse_script
+from repro.solver import solve_script
+
+#: An NIA instance whose witness magnitude (~30-90) is cheap for
+#: contraction-guided search but expensive for shell enumeration.
+MODERATE_WITNESS = (
+    "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+    "(assert (= (+ (* x y) (* y z) (* x z)) 3119))"
+    "(assert (> x 10))(assert (< x y))(assert (< y z))"
+)
+
+#: A tiny-witness instance both engines handle.
+TINY_WITNESS = (
+    "(declare-fun x () Int)(declare-fun y () Int)"
+    "(assert (= (* x y) 6))(assert (> x 0))(assert (> y x))"
+)
+
+
+class TestProfileAsymmetry:
+    def test_corvus_times_out_where_zorro_solves(self):
+        script = parse_script(MODERATE_WITNESS)
+        zorro = solve_script(script, budget=1_200_000, profile="zorro")
+        corvus = solve_script(script, budget=1_200_000, profile="corvus")
+        assert zorro.is_sat
+        assert corvus.is_unknown
+
+    def test_both_solve_tiny_witnesses(self):
+        script = parse_script(TINY_WITNESS)
+        for profile in ("zorro", "corvus"):
+            assert solve_script(script, budget=400_000, profile=profile).is_sat
+
+    def test_profiles_agree_on_linear_logics(self):
+        script = parse_script(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= (+ (* 3 a) (* 5 b)) 44))(assert (>= a 0))(assert (>= b 0))"
+        )
+        zorro = solve_script(script, budget=400_000, profile="zorro")
+        corvus = solve_script(script, budget=400_000, profile="corvus")
+        assert zorro.status == corvus.status == "sat"
+        assert zorro.work == corvus.work  # literally the same engine
+
+    def test_structural_unsat_caught_by_both(self):
+        script = parse_script("(declare-fun x () Int)(assert (< (* x x) 0))")
+        for profile in ("zorro", "corvus"):
+            result = solve_script(script, budget=200_000, profile=profile)
+            assert result.is_unsat

@@ -1,0 +1,120 @@
+"""Tests for ranking-function synthesis and nontermination arguments."""
+
+import pytest
+
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.solver import solve_script
+from repro.termination.lang import parse_program
+from repro.termination.interp import run_program
+from repro.termination.nontermination import nontermination_constraints
+from repro.termination.ranking import extract_ranking_function, ranking_constraints
+
+
+def _check_ranking_on_trace(program, coefficients, constant, max_steps=200):
+    """Empirically validate a synthesized ranking function on a run."""
+    state = {name: 0 for name in program.variables}
+    state.update(program.init)
+
+    def rank(s):
+        return constant + sum(coefficients[v] * s[v] for v in program.variables)
+
+    steps = 0
+    while program.loop.guard_holds(state) and steps < max_steps:
+        next_state = program.loop.step(state)
+        assert rank(state) >= 0, "boundedness violated"
+        assert rank(state) - rank(next_state) >= 1, "decrease violated"
+        state = next_state
+        steps += 1
+
+
+class TestRankingSynthesis:
+    def test_countdown_has_ranking(self):
+        program = parse_program("x := 30; while (x > 0) { x := x - 2; }")
+        script = ranking_constraints(program, coefficient_bound=16)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_sat
+        coefficients, constant = extract_ranking_function(program, result.model)
+        _check_ranking_on_trace(program, coefficients, constant)
+
+    def test_race_has_ranking(self):
+        program = parse_program(
+            "x := 0; y := 50; while (x < y) { x := x + 3; y := y - 1; }"
+        )
+        script = ranking_constraints(program, coefficient_bound=16)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_sat
+        coefficients, constant = extract_ranking_function(program, result.model)
+        _check_ranking_on_trace(program, coefficients, constant)
+
+    def test_divergent_loop_has_no_ranking(self):
+        program = parse_program("x := 1; while (x > 0) { x := x + 1; }")
+        script = ranking_constraints(program, coefficient_bound=16)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_unsat
+
+    def test_fixed_point_loop_has_no_ranking(self):
+        program = parse_program("x := 5; while (x > 0) { x := x; }")
+        script = ranking_constraints(program, coefficient_bound=16)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_unsat
+
+    def test_aggressive_decrease_candidate_fails(self):
+        # The loop only decreases by 1 per iteration; demanding a ranking
+        # that drops by 8 is the typical failed candidate query.
+        program = parse_program("x := 30; while (x > 0) { x := x - 1; }")
+        tight = ranking_constraints(program, coefficient_bound=1, decrease=8)
+        result = solve_script(tight, budget=2_000_000)
+        assert result.is_unsat
+
+    def test_queries_are_qf_lia(self):
+        program = parse_program("x := 30; while (x > 0) { x := x - 2; }")
+        script = ranking_constraints(program, coefficient_bound=4)
+        assert script.logic == "QF_LIA"
+
+
+class TestNontermination:
+    def test_geometric_growth_has_argument(self):
+        program = parse_program("x := 3; while (x > 0) { x := 2 * x; }")
+        script = nontermination_constraints(program)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_sat
+        # Validate the witness: lam >= 1 and the guard holds at x, x+y.
+        model = result.model
+        assert model["lam"] >= 1
+
+    def test_fixed_point_has_argument(self):
+        program = parse_program("x := 5; while (x > 0) { x := x; }")
+        script = nontermination_constraints(program)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_sat
+
+    def test_terminating_countdown_has_no_argument(self):
+        program = parse_program("x := 30; while (x > 0) { x := x - 1; }")
+        script = nontermination_constraints(program, magnitude_bound=8)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_unsat
+
+    def test_constraints_are_nonlinear(self):
+        program = parse_program("x := 3; while (x > 0) { x := 2 * x; }")
+        script = nontermination_constraints(program)
+        assert script.logic == "QF_NIA"
+
+    def test_witness_certifies_nontermination(self):
+        """A sat witness really does describe an infinite run."""
+        program = parse_program("x := 3; while (x > 0) { x := 3 * x; }")
+        script = nontermination_constraints(program)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_sat
+        x0 = {name: result.model[f"x_{name}"] for name in program.variables}
+        # Run forward: the guard must keep holding for many steps.
+        state = dict(x0)
+        for _ in range(20):
+            assert program.loop.guard_holds(state)
+            state = program.loop.step(state)
+
+    def test_pinned_initial_state(self):
+        program = parse_program("x := 3; while (x > 0) { x := 2 * x; }")
+        script = nontermination_constraints(program, pin_initial=True)
+        result = solve_script(script, budget=2_000_000)
+        assert result.is_sat
+        assert result.model["x_x"] == 3

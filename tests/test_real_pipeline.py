@@ -1,0 +1,121 @@
+"""End-to-end behaviour of the real-arithmetic arbitrage.
+
+The paper's real-number story has three regimes, all exercised here:
+
+1. dyadic-friendly constraints verify (the NRA wins);
+2. decimal constants produce semantic differences that defeat
+   verification (why LRA shows no improvements);
+3. constraints whose only witnesses are irrational cannot be rescued by
+   any bounded representation (the NRA unknown residue).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.pipeline import (
+    CASE_BOUNDED_UNSAT,
+    CASE_SEMANTIC_DIFFERENCE,
+    CASE_VERIFIED_SAT,
+    Staub,
+)
+from repro.smtlib import parse_script
+from repro.smtlib.evaluator import evaluate_assertions
+
+BUDGET = 1_200_000
+
+
+class TestDyadicRegime:
+    def test_square_root_of_dyadic_verifies(self):
+        script = parse_script(
+            "(declare-fun x () Real)"
+            "(assert (= (* x x) 2.25))(assert (> x 0.0))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        assert report.case == CASE_VERIFIED_SAT
+        assert report.model["x"] == Fraction(3, 2)
+
+    def test_linear_dyadic_system_verifies(self):
+        script = parse_script(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (= (+ x y) 1.5))(assert (= (- x y) 0.25))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        assert report.case == CASE_VERIFIED_SAT
+        assert evaluate_assertions(script.assertions, report.model)
+        assert report.model["x"] == Fraction(7, 8)
+
+    def test_shape_comes_from_inference(self):
+        script = parse_script(
+            "(declare-fun x () Real)(assert (> x 0.125))(assert (< x 0.375))"
+        )
+        staub = Staub()
+        transformed, inference, _ = staub.transform(script)
+        # dig(1/8) = 3, plus one: at least 4 fractional bits.
+        assert transformed.shape.precision_bits >= 4
+        report = staub.run(script, budget=BUDGET)
+        assert report.case == CASE_VERIFIED_SAT
+
+
+class TestDecimalRegime:
+    def test_equality_on_decimal_cannot_verify(self):
+        # x = 0.1 exactly: no dyadic witness exists, so the bounded side
+        # either proves its rounded version unsat or finds a rounded
+        # model that fails exact verification.
+        script = parse_script(
+            "(declare-fun x () Real)"
+            "(assert (= (* 10.0 x) 1.0))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        assert report.case in (CASE_BOUNDED_UNSAT, CASE_SEMANTIC_DIFFERENCE)
+
+    def test_inexact_flag_set_for_decimal_constants(self):
+        script = parse_script("(declare-fun x () Real)(assert (> x 0.1))")
+        transformed, _, _ = Staub().transform(script)
+        assert transformed.inexact_constants
+
+    def test_wide_slack_decimal_inequalities_can_still_verify(self):
+        # Inequalities with generous slack tolerate constant rounding:
+        # these are the (rare) verifiable decimal cases.
+        script = parse_script(
+            "(declare-fun x () Real)"
+            "(assert (> x 0.1))(assert (< x 10.1))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        if report.case == CASE_VERIFIED_SAT:
+            assert evaluate_assertions(script.assertions, report.model)
+
+
+class TestIrrationalRegime:
+    def test_sqrt_two_cannot_be_rescued(self):
+        script = parse_script(
+            "(declare-fun x () Real)(assert (= (* x x) 2.0))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        # No fixed-point value squares to 2 exactly; truncation may allow
+        # a spurious bounded model, which verification then rejects.
+        assert report.case in (CASE_BOUNDED_UNSAT, CASE_SEMANTIC_DIFFERENCE)
+
+
+class TestGuards:
+    def test_overflow_guard_blocks_wraparound_models(self):
+        # Without magnitude guards the bounded side could "solve" this by
+        # wrapping; the guards force bounded-unsat instead.
+        script = parse_script(
+            "(declare-fun x () Real)"
+            "(assert (> (* x x) 1000000.0))(assert (< x 2.0))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        assert report.case != CASE_VERIFIED_SAT or evaluate_assertions(
+            script.assertions, report.model
+        )
+
+    def test_division_by_zero_not_exploited(self):
+        script = parse_script(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (= (/ x y) 2.0))(assert (= y 0.0))"
+        )
+        report = Staub().run(script, budget=BUDGET)
+        # Our total semantics make x/0 = 0, so the original is unsat;
+        # the bounded guard (divisor != 0) must not fabricate a model.
+        assert report.case != CASE_VERIFIED_SAT

@@ -1,0 +1,70 @@
+"""Tests for the iterative bound-refinement extension (Section 6.2)."""
+
+import pytest
+
+from repro.core.pipeline import CASE_BOUNDED_UNSAT, CASE_VERIFIED_SAT
+from repro.core.refinement import RefinementStaub
+from repro.smtlib import parse_script
+from repro.smtlib.evaluator import evaluate_assertions
+
+
+class TestRefinement:
+    def test_first_round_success_stops_immediately(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (= (* x x) 49))"
+        )
+        report = RefinementStaub().run(script, budget=1_200_000)
+        assert report.case == CASE_VERIFIED_SAT
+        assert len(report.rounds) == 1
+
+    def test_widening_rescues_insufficient_inference(self):
+        # The witness (b >= 16) needs one more bit than the largest
+        # constant suggests; a deliberately poor first width forces a
+        # refinement round.
+        script = parse_script(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (>= a 3))(assert (< (- a b) 0))"
+            "(assert (> (+ a b) 62))"
+        )
+        refiner = RefinementStaub(max_rounds=4)
+        report = refiner.run(script, budget=1_200_000)
+        assert report.case == CASE_VERIFIED_SAT
+        assert evaluate_assertions(script.assertions, report.model)
+
+    def test_genuinely_unsat_stays_unsat_after_rounds(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 5))(assert (< x 3))"
+        )
+        report = RefinementStaub(max_rounds=3).run(script, budget=1_200_000)
+        assert report.case == CASE_BOUNDED_UNSAT
+        assert len(report.rounds) >= 2  # it did retry before giving up
+        widths = [width for width, _ in report.rounds]
+        assert widths == sorted(widths)  # monotone widening
+
+    def test_total_work_accumulates(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 5))(assert (< x 3))"
+        )
+        report = RefinementStaub(max_rounds=3).run(script, budget=1_200_000)
+        assert report.total_work >= report.final.total_work
+        assert report.total_work > 0
+
+    def test_width_cap_respected(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 5))(assert (< x 3))"
+        )
+        refiner = RefinementStaub(max_rounds=10, max_width=12)
+        report = refiner.run(script, budget=1_200_000)
+        assert all(width <= 12 for width, _ in report.rounds)
+
+    def test_budget_shared_across_rounds(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))"
+        )
+        report = RefinementStaub(max_rounds=3).run(script, budget=2_000)
+        # The bounded side runs out of budget immediately (the blasting
+        # cost alone may overshoot slightly) and refinement must not keep
+        # retrying after an unknown.
+        assert report.case == "bounded-unknown"
+        assert len(report.rounds) == 1

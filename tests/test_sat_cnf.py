@@ -1,0 +1,71 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
+
+
+class TestCNF:
+    def test_new_vars_are_sequential(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.new_vars(3) == [3, 4, 5]
+
+    def test_add_clause_tracks_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -7])
+        assert cnf.num_vars == 7
+
+    def test_duplicate_literals_removed(self):
+        cnf = CNF()
+        cnf.add_clause([1, 1, 2])
+        assert cnf.clauses[0] == (1, 2)
+
+    def test_tautologies_dropped(self):
+        cnf = CNF()
+        cnf.add_clause([1, -1, 2])
+        assert len(cnf) == 0
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_extend(self):
+        cnf = CNF()
+        cnf.extend([[1, 2], [-1, 3]])
+        assert len(cnf) == 2
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.extend([[1, -2], [2, 3, -4], [-3]])
+        parsed = parse_dimacs(to_dimacs(cnf))
+        assert parsed.clauses == cnf.clauses
+        assert parsed.num_vars == cnf.num_vars
+
+    def test_header_format(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        text = to_dimacs(cnf)
+        assert text.startswith("p cnf 2 1")
+        assert text.strip().endswith("1 -2 0")
+
+    def test_comments_ignored(self):
+        parsed = parse_dimacs("c a comment\np cnf 2 1\n1 -2 0\n")
+        assert parsed.clauses == [(1, -2)]
+
+    def test_multiline_clause(self):
+        parsed = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert parsed.clauses == [(1, 2, 3)]
+
+    def test_header_var_count_respected(self):
+        parsed = parse_dimacs("p cnf 10 1\n1 2 0\n")
+        assert parsed.num_vars == 10
+
+    def test_malformed_header(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p dnf 2 1\n1 0\n")

@@ -1,0 +1,80 @@
+"""Deeper SAT solver internals: DB reduction, phases, determinism."""
+
+import random
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SAT, UNSAT, SatSolver, solve_cnf
+
+
+def hard_instance(seed, num_vars=140, ratio=4.3):
+    rng = random.Random(seed)
+    cnf = CNF(num_vars)
+    for _ in range(int(ratio * num_vars)):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v * rng.choice((1, -1)) for v in variables])
+    return cnf
+
+
+class TestClauseDatabase:
+    def test_learned_clauses_accumulate_and_reduce(self):
+        # A long run with many conflicts must trigger DB maintenance
+        # without affecting correctness.
+        results = []
+        for seed in range(4):
+            cnf = hard_instance(seed)
+            result, model, stats = solve_cnf(cnf)
+            results.append(result)
+            if result == SAT:
+                for clause in cnf.clauses:
+                    assert any(model[abs(l)] == (l > 0) for l in clause)
+            assert stats.learned_clauses >= stats.deleted_clauses
+        assert set(results) <= {SAT, UNSAT}
+
+    def test_restarts_happen_on_hard_instances(self):
+        cnf = hard_instance(7, num_vars=120)
+        _, _, stats = solve_cnf(cnf)
+        if stats.conflicts > 200:
+            assert stats.restarts > 0
+
+
+class TestDeterminism:
+    def test_same_input_same_statistics(self):
+        reference = None
+        for _ in range(3):
+            _, _, stats = solve_cnf(hard_instance(3))
+            snapshot = stats.as_dict()
+            if reference is None:
+                reference = snapshot
+            assert snapshot == reference
+
+    def test_work_monotone_in_conflict_budget(self):
+        cnf = hard_instance(9, num_vars=160)
+        _, _, small = solve_cnf(hard_instance(9, num_vars=160), max_conflicts=10)
+        _, _, large = solve_cnf(cnf, max_conflicts=100)
+        assert small.work() <= large.work() or large.conflicts < 100
+
+
+class TestMinimization:
+    def test_clause_minimization_fires(self):
+        # Structured instances exercise the recursive-reason check.
+        cnf = CNF()
+        chain = 30
+        for i in range(1, chain):
+            cnf.add_clause([-i, i + 1])
+        cnf.add_clause([1])
+        cnf.add_clause([-chain, chain + 1, chain + 2])
+        cnf.add_clause([-(chain + 1), -(chain + 2)])
+        result, _, stats = solve_cnf(cnf)
+        assert result == SAT
+
+    def test_phase_saving_on_restart(self):
+        # Solving twice: the second call reuses saved phases; the result
+        # and model must still satisfy the formula.
+        solver = SatSolver()
+        rng = random.Random(2)
+        for _ in range(200):
+            variables = rng.sample(range(1, 61), 3)
+            solver.add_clause([v * rng.choice((1, -1)) for v in variables])
+        first = solver.solve()
+        second = solver.solve()
+        assert first == second

@@ -1,0 +1,171 @@
+"""Tests for the CDCL SAT solver, including brute-force equivalence."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, SatSolver, luby, solve_cnf
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+def pigeonhole(holes):
+    """PHP(holes+1, holes): classic unsat family."""
+    cnf = CNF()
+
+    def var(pigeon, hole):
+        return pigeon * holes + hole + 1
+
+    for pigeon in range(holes + 1):
+        cnf.add_clause([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                cnf.add_clause([-var(p1, hole), -var(p2, hole)])
+    return cnf
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(15)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_powers_at_boundaries(self):
+        assert luby(2**10 - 2) == 2**9
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        result, model, _ = solve_cnf(CNF())
+        assert result == SAT
+
+    def test_unit_propagation_chain(self):
+        cnf = CNF()
+        cnf.extend([[1], [-1, 2], [-2, 3], [-3, 4]])
+        result, model, stats = solve_cnf(cnf)
+        assert result == SAT
+        assert all(model[v] for v in (1, 2, 3, 4))
+        assert stats.decisions == 0
+
+    def test_contradictory_units(self):
+        cnf = CNF()
+        cnf.extend([[1], [-1]])
+        result, _, _ = solve_cnf(cnf)
+        assert result == UNSAT
+
+    def test_simple_conflict_learning(self):
+        cnf = CNF()
+        cnf.extend([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        result, _, _ = solve_cnf(cnf)
+        assert result == UNSAT
+
+    def test_model_satisfies_all_clauses(self):
+        cnf = CNF()
+        cnf.extend([[1, 2, 3], [-1, -2], [-2, -3], [2, 3]])
+        result, model, _ = solve_cnf(cnf)
+        assert result == SAT
+        for clause in cnf.clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4, 5])
+    def test_php_is_unsat(self, holes):
+        result, _, _ = solve_cnf(pigeonhole(holes))
+        assert result == UNSAT
+
+    def test_php_learns_clauses(self):
+        _, _, stats = solve_cnf(pigeonhole(4))
+        assert stats.conflicts > 0
+        assert stats.learned_clauses > 0
+
+
+class TestBudget:
+    def test_conflict_budget_yields_unknown(self):
+        result, _, _ = solve_cnf(pigeonhole(7), max_conflicts=5)
+        assert result == UNKNOWN
+
+    def test_work_budget_yields_unknown(self):
+        result, _, _ = solve_cnf(pigeonhole(7), max_work=50)
+        assert result == UNKNOWN
+
+    def test_work_counter_is_deterministic(self):
+        results = set()
+        for _ in range(3):
+            _, _, stats = solve_cnf(pigeonhole(4))
+            results.add(stats.work())
+        assert len(results) == 1
+
+
+class TestAssumptions:
+    def test_assumptions_force_values(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) == SAT
+        assert solver.model()[2] is True
+
+    def test_failed_assumptions_give_core(self):
+        solver = SatSolver(3)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve(assumptions=[1, -3]) == UNSAT
+        core = solver.final_conflict()
+        assert set(core) == {-1, 3}
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        solver = SatSolver(3)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve(assumptions=[1, -3]) == UNSAT
+        assert solver.solve(assumptions=[1]) == SAT
+        assert solver.model()[3] is True
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve() == SAT
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() == UNSAT
+
+
+class TestRandomEquivalence:
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, data):
+        num_vars = data.draw(st.integers(2, 8))
+        num_clauses = data.draw(st.integers(1, 30))
+        clauses = []
+        for _ in range(num_clauses):
+            width = data.draw(st.integers(1, 3))
+            clause = [
+                data.draw(st.integers(1, num_vars)) * data.draw(st.sampled_from((1, -1)))
+                for _ in range(width)
+            ]
+            clauses.append(clause)
+        cnf = CNF(num_vars)
+        cnf.extend(clauses)
+        result, model, _ = solve_cnf(cnf)
+        expected = brute_force_sat(num_vars, clauses)
+        assert (result == SAT) == expected
+        if result == SAT:
+            for clause in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    def test_hard_random_3sat_solves(self):
+        rng = random.Random(7)
+        num_vars = 100
+        cnf = CNF(num_vars)
+        for _ in range(int(4.26 * num_vars)):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            cnf.add_clause([v * rng.choice((1, -1)) for v in variables])
+        result, _, stats = solve_cnf(cnf)
+        assert result in (SAT, UNSAT)
+        assert stats.work() > 0

@@ -1,0 +1,79 @@
+"""Tests for the Script container and logic inference."""
+
+import pytest
+
+from repro.errors import SmtLibError
+from repro.smtlib import build, parse_script
+from repro.smtlib.script import Script
+from repro.smtlib.sorts import INT
+
+
+class TestConstruction:
+    def test_from_assertions_collects_declarations(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        script = Script.from_assertions([build.Lt(x, y)])
+        assert set(script.declarations) == {"x", "y"}
+
+    def test_add_assertion_requires_bool(self):
+        script = Script()
+        with pytest.raises(SmtLibError):
+            script.add_assertion(build.IntConst(1))
+
+    def test_sort_conflict_rejected(self):
+        script = Script()
+        script.add_assertion(build.Gt(build.IntVar("x"), build.IntConst(0)))
+        with pytest.raises(SmtLibError):
+            script.add_assertion(build.RealVar("x"))
+        # a bool var named x would conflict too
+        with pytest.raises(SmtLibError):
+            script.add_assertion(build.BoolVar("x"))
+
+    def test_conjunction(self):
+        x = build.IntVar("x")
+        a1 = build.Gt(x, build.IntConst(0))
+        a2 = build.Lt(x, build.IntConst(9))
+        script = Script.from_assertions([a1, a2])
+        conjunction = script.conjunction()
+        assert set(conjunction.args) == {a1, a2}
+
+    def test_empty_conjunction_is_true(self):
+        assert Script().conjunction() is build.TRUE
+
+
+class TestLogicInference:
+    CASES = [
+        ("(declare-fun x () Int)(assert (< x 3))", "QF_LIA"),
+        ("(declare-fun x () Int)(assert (= (* x x) 4))", "QF_NIA"),
+        ("(declare-fun x () Int)(assert (= (* 3 x) 4))", "QF_LIA"),
+        ("(declare-fun x () Real)(assert (< x 3.0))", "QF_LRA"),
+        ("(declare-fun x () Real)(assert (= (* x x) 4.0))", "QF_NRA"),
+        (
+            "(declare-fun x () Real)(declare-fun y () Real)(assert (> (/ x y) 1.0))",
+            "QF_NRA",
+        ),
+        ("(declare-fun x () Real)(assert (> (/ x 2.0) 1.0))", "QF_LRA"),
+        ("(declare-fun v () (_ BitVec 4))(assert (= v (_ bv3 4)))", "QF_BV"),
+        ("(declare-fun x () Int)(assert (= (div x 3) 1))", "QF_LIA"),
+        ("(declare-fun x () Int)(declare-fun y () Int)(assert (= (div x y) 1))", "QF_NIA"),
+    ]
+
+    @pytest.mark.parametrize("source,expected", CASES)
+    def test_inferred_logic(self, source, expected):
+        script = parse_script(source)
+        assert script.infer_logic() == expected
+
+
+class TestBoundedness:
+    def test_bounded_detection(self):
+        bv = parse_script("(declare-fun v () (_ BitVec 4))(assert (= v v))")
+        assert bv.is_bounded
+        integer = parse_script("(declare-fun x () Int)(assert (= x x))")
+        assert not integer.is_bounded
+
+    def test_size(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (= (* x x) 4))(assert (> (* x x) 0))"
+        )
+        # Shared nodes counted once: x, x*x, 4, =, 0, > -> 6.
+        assert script.size() == 6

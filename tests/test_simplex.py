@@ -1,0 +1,182 @@
+"""Simplex tests: hand cases, random feasible systems, scipy agreement."""
+
+import random
+from fractions import Fraction
+
+import numpy
+import pytest
+from scipy.optimize import linprog
+
+from repro.arith.simplex import DeltaRational, Simplex, SimplexConflict
+from repro.errors import BudgetExceeded
+
+
+class TestDeltaRational:
+    def test_ordering_is_lexicographic(self):
+        assert DeltaRational(1, 0) < DeltaRational(1, 1)
+        assert DeltaRational(1, 100) < DeltaRational(2, -100)
+        assert DeltaRational(1, -1) < DeltaRational(1, 0)
+
+    def test_arithmetic(self):
+        a = DeltaRational(1, 1)
+        b = DeltaRational(2, -1)
+        assert a + b == DeltaRational(3, 0)
+        assert a - b == DeltaRational(-1, 2)
+        assert a.scale(3) == DeltaRational(3, 3)
+
+    def test_hashable(self):
+        assert len({DeltaRational(1, 0), DeltaRational(1, 0), DeltaRational(1, 1)}) == 2
+
+
+class TestHandCases:
+    def test_feasible_system(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": 1, "y": 2}, ">=", 3)
+        simplex.assert_constraint({"x": 1}, "<", 1)
+        assert simplex.check()
+        model = simplex.model()
+        assert model["x"] + 2 * model["y"] >= 3
+        assert model["x"] < 1
+
+    def test_infeasible_system(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": 1, "y": 1}, "<=", 1)
+        simplex.assert_constraint({"x": 1}, ">=", 1)
+        simplex.assert_constraint({"y": 1}, ">", 0)
+        assert not simplex.check()
+
+    def test_strict_inequalities_get_interior_point(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": 1}, ">", 0)
+        simplex.assert_constraint({"x": 1}, "<", 1)
+        assert simplex.check()
+        assert 0 < simplex.model()["x"] < 1
+
+    def test_strict_conflict_detected(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": 1}, "<", 0)
+        with pytest.raises(SimplexConflict):
+            simplex.assert_constraint({"x": 1}, ">=", 0)
+
+    def test_equality_constraints(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": 1, "y": 1}, "=", 10)
+        simplex.assert_constraint({"x": 1, "y": -1}, "=", 4)
+        assert simplex.check()
+        model = simplex.model()
+        assert model["x"] == 7 and model["y"] == 3
+
+    def test_negative_coefficient_single_var_flips(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": -2}, "<=", -6)  # x >= 3
+        assert simplex.check()
+        assert simplex.model()["x"] >= 3
+
+    def test_shared_slack_forms(self):
+        simplex = Simplex()
+        simplex.assert_constraint({"x": 1, "y": 1}, "<=", 10)
+        simplex.assert_constraint({"x": 1, "y": 1}, ">=", 2)
+        assert simplex.check()
+        total = simplex.model()["x"] + simplex.model()["y"]
+        assert 2 <= total <= 10
+
+
+class TestRandomFeasible:
+    def test_planted_models_always_found(self):
+        rng = random.Random(1)
+        for trial in range(60):
+            num_vars = rng.randint(2, 5)
+            witness = {
+                f"v{i}": Fraction(rng.randint(-10, 10), rng.randint(1, 5))
+                for i in range(num_vars)
+            }
+            simplex = Simplex()
+            constraints = []
+            for _ in range(rng.randint(2, 10)):
+                coefficients = {
+                    f"v{i}": rng.randint(-4, 4) for i in range(num_vars)
+                }
+                coefficients = {k: v for k, v in coefficients.items() if v}
+                if not coefficients:
+                    continue
+                value = sum(Fraction(c) * witness[k] for k, c in coefficients.items())
+                relation = rng.choice(["<=", "<", ">=", ">", "="])
+                offset = {
+                    "<=": rng.randint(0, 3),
+                    "<": rng.randint(1, 3),
+                    ">=": -rng.randint(0, 3),
+                    ">": -rng.randint(1, 3),
+                    "=": 0,
+                }[relation]
+                simplex.assert_constraint(coefficients, relation, value + offset)
+                constraints.append((coefficients, relation, value + offset))
+            assert simplex.check(), trial
+            model = simplex.model()
+            for coefficients, relation, bound in constraints:
+                lhs = sum(
+                    Fraction(c) * model.get(k, Fraction(0))
+                    for k, c in coefficients.items()
+                )
+                assert {
+                    "<=": lhs <= bound,
+                    "<": lhs < bound,
+                    ">=": lhs >= bound,
+                    ">": lhs > bound,
+                    "=": lhs == bound,
+                }[relation], (trial, coefficients, relation, bound)
+
+
+class TestAgainstScipy:
+    def test_feasibility_agrees_with_linprog(self):
+        rng = random.Random(2)
+        for trial in range(60):
+            num_vars = rng.randint(2, 4)
+            rows = []
+            bounds = []
+            simplex = Simplex()
+            conflict = False
+            for _ in range(rng.randint(2, 8)):
+                coefficients = [rng.randint(-3, 3) for _ in range(num_vars)]
+                bound = rng.randint(-6, 6)
+                rows.append(coefficients)
+                bounds.append(bound)
+                try:
+                    simplex.assert_constraint(
+                        {f"v{i}": c for i, c in enumerate(coefficients) if c},
+                        "<=",
+                        bound,
+                    )
+                except SimplexConflict:
+                    conflict = True
+                    break
+            ours = (not conflict) and simplex.check()
+            result = linprog(
+                c=[0] * num_vars,
+                A_ub=numpy.array(rows),
+                b_ub=numpy.array(bounds),
+                bounds=[(None, None)] * num_vars,
+                method="highs",
+            )
+            theirs = result.status != 2
+            assert ours == theirs, (trial, rows, bounds)
+
+
+class TestBudget:
+    def test_pivot_budget_raises(self):
+        simplex = Simplex(work_budget=1)
+        rng = random.Random(3)
+        try:
+            for i in range(40):
+                simplex.assert_constraint(
+                    {f"v{i % 5}": 1, f"v{(i + 1) % 5}": rng.randint(1, 3)},
+                    ">=",
+                    rng.randint(-10, 10),
+                )
+                simplex.assert_constraint(
+                    {f"v{i % 5}": 1, f"v{(i + 2) % 5}": -rng.randint(1, 3)},
+                    "<=",
+                    rng.randint(-10, 10),
+                )
+            simplex.check()
+        except (BudgetExceeded, SimplexConflict) as error:
+            assert isinstance(error, (BudgetExceeded, SimplexConflict))

@@ -1,0 +1,249 @@
+"""SLOT pass tests: rewrites, and the semantics-preservation property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.slot.passes import (
+    AlgebraicSimplify,
+    AssertionCleanup,
+    Canonicalize,
+    ConstantFold,
+    StrengthReduce,
+)
+from repro.slot.manager import PassManager, optimize_script
+from repro.smtlib import build
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.script import Script
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue
+
+
+def run_pass(pass_instance, term):
+    from repro.smtlib.terms import map_terms
+
+    return map_terms([term], pass_instance.rewrite)[0]
+
+
+class TestConstantFold:
+    def test_folds_bv_arithmetic(self):
+        term = build.BVAdd(build.BitVecConst(3, 8), build.BitVecConst(4, 8))
+        folded = run_pass(ConstantFold(), term)
+        assert folded.is_const and folded.value.unsigned == 7
+
+    def test_folds_nested(self):
+        term = build.BVMul(
+            build.BVAdd(build.BitVecConst(1, 8), build.BitVecConst(2, 8)),
+            build.BitVecConst(5, 8),
+        )
+        folded = run_pass(ConstantFold(), term)
+        assert folded.value.unsigned == 15
+
+    def test_folds_comparisons(self):
+        term = build.bv_compare(
+            Op.BVULT, build.BitVecConst(3, 8), build.BitVecConst(4, 8)
+        )
+        assert run_pass(ConstantFold(), term) is build.TRUE
+
+    def test_folds_overflow_predicates(self):
+        term = build.bv_overflow(
+            Op.BVSMULO, build.BitVecConst(100, 8), build.BitVecConst(2, 8)
+        )
+        assert run_pass(ConstantFold(), term) is build.TRUE
+
+    def test_leaves_variables_alone(self):
+        x = build.BitVecVar("x", 8)
+        term = build.BVAdd(x, build.BitVecConst(0, 8))
+        assert run_pass(ConstantFold(), term) is term
+
+
+class TestAlgebraicSimplify:
+    def test_add_zero(self):
+        x = build.BitVecVar("x", 8)
+        term = build.BVAdd(x, build.BitVecConst(0, 8))
+        assert run_pass(AlgebraicSimplify(), term) is x
+
+    def test_mul_one_and_zero(self):
+        x = build.BitVecVar("x", 8)
+        assert run_pass(AlgebraicSimplify(), build.BVMul(x, build.BitVecConst(1, 8))) is x
+        zero = run_pass(AlgebraicSimplify(), build.BVMul(x, build.BitVecConst(0, 8)))
+        assert zero.is_const and zero.value.unsigned == 0
+
+    def test_sub_self(self):
+        x = build.BitVecVar("x", 8)
+        result = run_pass(AlgebraicSimplify(), build.BVSub(x, x))
+        assert result.is_const and result.value.unsigned == 0
+
+    def test_xor_self(self):
+        x = build.BitVecVar("x", 8)
+        result = run_pass(
+            AlgebraicSimplify(), build.bv_binary(Op.BVXOR, x, x)
+        )
+        assert result.is_const and result.value.unsigned == 0
+
+    def test_and_with_ones(self):
+        x = build.BitVecVar("x", 8)
+        term = build.bv_binary(Op.BVAND, x, build.BitVecConst(255, 8))
+        assert run_pass(AlgebraicSimplify(), term) is x
+
+    def test_double_negations(self):
+        x = build.BitVecVar("x", 8)
+        assert run_pass(AlgebraicSimplify(), build.BVNot(build.BVNot(x))) is x
+        assert run_pass(AlgebraicSimplify(), build.BVNeg(build.BVNeg(x))) is x
+        p = build.BoolVar("p")
+        assert run_pass(AlgebraicSimplify(), build.Not(build.Not(p))) is p
+
+    def test_reflexive_comparisons(self):
+        x = build.BitVecVar("x", 8)
+        assert run_pass(AlgebraicSimplify(), build.Eq(x, x)) is build.TRUE
+        assert (
+            run_pass(AlgebraicSimplify(), build.bv_compare(Op.BVULT, x, x))
+            is build.FALSE
+        )
+
+    def test_and_short_circuit(self):
+        p = build.BoolVar("p")
+        term = build.And(p, build.FALSE)
+        assert run_pass(AlgebraicSimplify(), term) is build.FALSE
+
+    def test_ite_same_branches(self):
+        p = build.BoolVar("p")
+        x = build.BitVecVar("x", 8)
+        assert run_pass(AlgebraicSimplify(), build.Ite(p, x, x)) is x
+
+
+class TestStrengthReduce:
+    def test_mul_by_power_of_two_becomes_shift(self):
+        x = build.BitVecVar("x", 8)
+        term = build.BVMul(x, build.BitVecConst(8, 8))
+        reduced = run_pass(StrengthReduce(), term)
+        assert reduced.op is Op.BVSHL
+        assert reduced.args[1].value.unsigned == 3
+
+    def test_udiv_by_power_of_two(self):
+        x = build.BitVecVar("x", 8)
+        term = build.bv_binary(Op.BVUDIV, x, build.BitVecConst(4, 8))
+        reduced = run_pass(StrengthReduce(), term)
+        assert reduced.op is Op.BVLSHR
+
+    def test_urem_by_power_of_two_becomes_mask(self):
+        x = build.BitVecVar("x", 8)
+        term = build.bv_binary(Op.BVUREM, x, build.BitVecConst(8, 8))
+        reduced = run_pass(StrengthReduce(), term)
+        assert reduced.op is Op.BVAND
+        assert reduced.args[1].value.unsigned == 7
+
+    def test_non_power_untouched(self):
+        x = build.BitVecVar("x", 8)
+        term = build.BVMul(x, build.BitVecConst(6, 8))
+        assert run_pass(StrengthReduce(), term) is term
+
+
+class TestCanonicalize:
+    def test_mirrored_products_merge(self):
+        x = build.BitVecVar("x", 8)
+        y = build.BitVecVar("y", 8)
+        left = run_pass(Canonicalize(), build.BVMul(x, y))
+        right = run_pass(Canonicalize(), build.BVMul(y, x))
+        assert left is right
+
+    def test_and_deduplicates(self):
+        p = build.BoolVar("p")
+        q = build.BoolVar("q")
+        term = build.And(p, q, p)
+        result = run_pass(Canonicalize(), term)
+        assert len(result.args) == 2
+
+
+class TestAssertionCleanup:
+    def test_drops_true_and_duplicates(self):
+        p = build.BoolVar("p")
+        kept, falsified = AssertionCleanup().run([build.TRUE, p, p])
+        assert kept == [p]
+        assert not falsified
+
+    def test_false_dominates(self):
+        p = build.BoolVar("p")
+        kept, falsified = AssertionCleanup().run([p, build.FALSE])
+        assert falsified
+        assert kept == [build.FALSE]
+
+
+class TestSemanticsPreservation:
+    """The load-bearing property: optimization never changes models."""
+
+    BIN_OPS = [
+        Op.BVADD, Op.BVSUB, Op.BVMUL, Op.BVAND, Op.BVOR, Op.BVXOR,
+        Op.BVUDIV, Op.BVUREM, Op.BVSHL, Op.BVLSHR,
+    ]
+
+    def _random_term(self, data, depth):
+        width = 4
+        if depth == 0 or data.draw(st.booleans()):
+            if data.draw(st.booleans()):
+                return build.BitVecVar(data.draw(st.sampled_from("xy")), width)
+            return build.BitVecConst(data.draw(st.integers(0, 15)), width)
+        op = data.draw(st.sampled_from(self.BIN_OPS))
+        return build.bv_binary(
+            op, self._random_term(data, depth - 1), self._random_term(data, depth - 1)
+        )
+
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_optimized_script_has_same_models(self, data):
+        atom_count = data.draw(st.integers(1, 3))
+        assertions = []
+        for _ in range(atom_count):
+            left = self._random_term(data, 2)
+            right = self._random_term(data, 2)
+            kind = data.draw(st.integers(0, 2))
+            if kind == 0:
+                assertions.append(build.Eq(left, right))
+            elif kind == 1:
+                assertions.append(build.bv_compare(Op.BVULT, left, right))
+            else:
+                assertions.append(build.Not(build.Eq(left, right)))
+        script = Script.from_assertions(assertions)
+        script.declarations.setdefault("x", build.BitVecVar("x", 4).sort)
+        script.declarations.setdefault("y", build.BitVecVar("y", 4).sort)
+        optimized, _ = optimize_script(script)
+        for xv in range(0, 16, 3):
+            for yv in range(0, 16, 3):
+                env = {"x": BVValue(xv, 4), "y": BVValue(yv, 4)}
+                original = all(evaluate(a, env) for a in script.assertions)
+                rewritten = all(evaluate(a, env) for a in optimized.assertions)
+                assert original == rewritten
+
+
+class TestPassManager:
+    def test_fixpoint_reached(self):
+        x = build.BitVecVar("x", 8)
+        # ((x + 0) * 1) * 4: needs fold -> simplify -> strength-reduce.
+        term = build.BVMul(
+            build.BVMul(build.BVAdd(x, build.BitVecConst(0, 8)), build.BitVecConst(1, 8)),
+            build.BitVecConst(4, 8),
+        )
+        script = Script.from_assertions(
+            [build.Eq(term, build.BitVecConst(20, 8))]
+        )
+        optimized, stats = optimize_script(script)
+        text_ops = {
+            sub.op
+            for assertion in optimized.assertions
+            for sub in assertion.subterms()
+        }
+        assert Op.BVSHL in text_ops
+        assert Op.BVMUL not in text_ops
+
+    def test_unbounded_script_rejected(self):
+        from repro.errors import SolverError
+        from repro.smtlib import parse_script
+
+        script = parse_script("(declare-fun x () Int)(assert (> x 0))")
+        with pytest.raises(SolverError):
+            PassManager().run(script)
+
+    def test_declarations_preserved(self):
+        x = build.BitVecVar("x", 8)
+        script = Script.from_assertions([build.Eq(x, x)])  # simplifies to true
+        optimized, _ = optimize_script(script)
+        assert "x" in optimized.declarations

@@ -1,0 +1,239 @@
+"""Softfloat tests: bit-exact agreement with hardware IEEE-754.
+
+The strongest oracle available offline is the host CPU: numpy float32
+arithmetic is IEEE-754 binary32 with RNE, so we fuzz our softfloat against
+it bit-for-bit.
+"""
+
+import math
+import struct
+
+import numpy
+import pytest
+from fractions import Fraction
+from hypothesis import given, settings, strategies as st
+
+from repro.fp import softfloat
+from repro.smtlib.values import FPValue
+
+
+def to_float32_bits(value):
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def from_bits32(bits):
+    return softfloat.unpack(bits, 8, 24)
+
+
+def float32s():
+    return st.integers(0, 2**32 - 1).map(
+        lambda bits: struct.unpack("<f", struct.pack("<I", bits))[0]
+    )
+
+
+def finite_float32s():
+    return float32s().filter(lambda x: math.isfinite(x))
+
+
+class TestPackUnpack:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=300)
+    def test_pack_unpack_roundtrip(self, bits):
+        value = from_bits32(bits)
+        if value.is_nan:
+            # All NaN payloads canonicalize to one quiet NaN.
+            assert from_bits32(softfloat.pack(value)).is_nan
+        else:
+            assert softfloat.pack(value) == bits
+
+    def test_special_values(self):
+        assert from_bits32(0x7F800000).is_inf
+        assert from_bits32(0xFF800000).sign == 1
+        assert from_bits32(0x7FC00000).is_nan
+        assert from_bits32(0x00000000).is_zero
+        assert from_bits32(0x80000000).sign == 1
+
+    def test_subnormal_roundtrip(self):
+        smallest = from_bits32(1)  # smallest positive subnormal
+        assert smallest.is_finite
+        assert smallest.to_fraction() == Fraction(1, 2**149)
+        assert softfloat.pack(smallest) == 1
+
+
+class TestRounding:
+    def test_one_third_rounds_like_hardware(self):
+        ours = softfloat.fp_from_fraction(Fraction(1, 3), 8, 24)
+        assert softfloat.pack(ours) == to_float32_bits(numpy.float32(1.0) / numpy.float32(3.0))
+
+    def test_overflow_to_infinity(self):
+        huge = Fraction(2) ** 200
+        assert softfloat.fp_from_fraction(huge, 8, 24).is_inf
+
+    def test_underflow_to_zero(self):
+        tiny = Fraction(1, 2**200)
+        assert softfloat.fp_from_fraction(tiny, 8, 24).is_zero
+
+    def test_ties_to_even(self):
+        # 2**24 + 1 is exactly halfway between representables 2**24 and
+        # 2**24 + 2; RNE picks the even significand (2**24).
+        value = softfloat.fp_from_fraction(Fraction(2**24 + 1), 8, 24)
+        assert value.to_fraction() == 2**24
+
+    def test_exact_values_stay_exact(self):
+        value = softfloat.fp_from_fraction(Fraction(3, 4), 8, 24)
+        assert value.to_fraction() == Fraction(3, 4)
+
+
+class TestArithmeticVsHardware:
+    @given(finite_float32s(), finite_float32s())
+    @settings(max_examples=400, deadline=None)
+    def test_add_bit_exact(self, x, y):
+        ours = softfloat.fp_add(
+            from_bits32(to_float32_bits(x)), from_bits32(to_float32_bits(y))
+        )
+        theirs = numpy.float32(x) + numpy.float32(y)
+        if ours.is_nan:
+            assert math.isnan(theirs)
+        else:
+            assert softfloat.pack(ours) == to_float32_bits(float(theirs))
+
+    @given(finite_float32s(), finite_float32s())
+    @settings(max_examples=400, deadline=None)
+    def test_mul_bit_exact(self, x, y):
+        with numpy.errstate(over="ignore", under="ignore"):
+            theirs = numpy.float32(x) * numpy.float32(y)
+        ours = softfloat.fp_mul(
+            from_bits32(to_float32_bits(x)), from_bits32(to_float32_bits(y))
+        )
+        if ours.is_nan:
+            assert math.isnan(theirs)
+        else:
+            assert softfloat.pack(ours) == to_float32_bits(float(theirs))
+
+    @given(finite_float32s(), finite_float32s())
+    @settings(max_examples=400, deadline=None)
+    def test_div_bit_exact(self, x, y):
+        with numpy.errstate(divide="ignore", invalid="ignore", over="ignore", under="ignore"):
+            theirs = numpy.float32(x) / numpy.float32(y)
+        ours = softfloat.fp_div(
+            from_bits32(to_float32_bits(x)), from_bits32(to_float32_bits(y))
+        )
+        if ours.is_nan:
+            assert math.isnan(theirs)
+        else:
+            assert softfloat.pack(ours) == to_float32_bits(float(theirs))
+
+
+class TestSpecialCases:
+    def test_inf_plus_minus_inf_is_nan(self):
+        pos = FPValue.inf(8, 24, 0)
+        neg = FPValue.inf(8, 24, 1)
+        assert softfloat.fp_add(pos, neg).is_nan
+
+    def test_zero_times_inf_is_nan(self):
+        assert softfloat.fp_mul(FPValue.zero(8, 24), FPValue.inf(8, 24)).is_nan
+
+    def test_x_minus_x_is_positive_zero(self):
+        x = softfloat.fp_from_fraction(Fraction(5, 2), 8, 24)
+        result = softfloat.fp_sub(x, x)
+        assert result.is_zero and result.sign == 0
+
+    def test_neg_zero_plus_neg_zero(self):
+        neg_zero = FPValue.zero(8, 24, 1)
+        result = softfloat.fp_add(neg_zero, neg_zero)
+        assert result.is_zero and result.sign == 1
+
+    def test_div_by_zero_is_signed_inf(self):
+        one = softfloat.fp_from_fraction(1, 8, 24)
+        result = softfloat.fp_div(one, FPValue.zero(8, 24, 1))
+        assert result.is_inf and result.sign == 1
+
+    def test_zero_div_zero_is_nan(self):
+        assert softfloat.fp_div(FPValue.zero(8, 24), FPValue.zero(8, 24)).is_nan
+
+
+class TestComparisons:
+    def test_nan_is_unordered(self):
+        nan = FPValue.nan(8, 24)
+        one = softfloat.fp_from_fraction(1, 8, 24)
+        assert not softfloat.fp_eq(nan, nan)
+        assert not softfloat.fp_lt(nan, one)
+        assert not softfloat.fp_leq(nan, one)
+        assert not softfloat.fp_gt(nan, one)
+
+    def test_zero_signs_compare_equal(self):
+        assert softfloat.fp_eq(FPValue.zero(8, 24, 0), FPValue.zero(8, 24, 1))
+        assert softfloat.fp_leq(FPValue.zero(8, 24, 1), FPValue.zero(8, 24, 0))
+
+    def test_infinity_ordering(self):
+        pos = FPValue.inf(8, 24, 0)
+        neg = FPValue.inf(8, 24, 1)
+        one = softfloat.fp_from_fraction(1, 8, 24)
+        assert softfloat.fp_lt(neg, one)
+        assert softfloat.fp_lt(one, pos)
+        assert softfloat.fp_eq(pos, pos)
+
+    @given(finite_float32s(), finite_float32s())
+    @settings(max_examples=200, deadline=None)
+    def test_lt_matches_hardware(self, x, y):
+        ours = softfloat.fp_lt(
+            from_bits32(to_float32_bits(x)), from_bits32(to_float32_bits(y))
+        )
+        assert ours == (numpy.float32(x) < numpy.float32(y))
+
+
+class TestNegAbs:
+    def test_neg_flips_inf(self):
+        assert softfloat.fp_neg(FPValue.inf(8, 24, 0)).sign == 1
+
+    def test_abs_clears_sign(self):
+        value = softfloat.fp_from_fraction(Fraction(-7, 2), 8, 24)
+        assert softfloat.fp_abs(value).to_fraction() == Fraction(7, 2)
+
+    def test_format_mismatch_rejected(self):
+        a = softfloat.fp_from_fraction(1, 8, 24)
+        b = softfloat.fp_from_fraction(1, 11, 53)
+        with pytest.raises(ValueError):
+            softfloat.fp_add(a, b)
+
+
+class TestFloat64CrossCheck:
+    """binary64 agreement with the host's double arithmetic."""
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_matches_hardware_double(self, x, y):
+        bits_x = struct.unpack("<Q", struct.pack("<d", x))[0]
+        bits_y = struct.unpack("<Q", struct.pack("<d", y))[0]
+        ours = softfloat.fp_add(
+            softfloat.unpack(bits_x, 11, 53), softfloat.unpack(bits_y, 11, 53)
+        )
+        theirs = x + y
+        if ours.is_nan:
+            assert math.isnan(theirs)
+        else:
+            assert softfloat.pack(ours) == struct.unpack(
+                "<Q", struct.pack("<d", theirs)
+            )[0]
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mul_matches_hardware_double(self, x, y):
+        bits_x = struct.unpack("<Q", struct.pack("<d", x))[0]
+        bits_y = struct.unpack("<Q", struct.pack("<d", y))[0]
+        ours = softfloat.fp_mul(
+            softfloat.unpack(bits_x, 11, 53), softfloat.unpack(bits_y, 11, 53)
+        )
+        theirs = x * y
+        if ours.is_nan:
+            assert math.isnan(theirs)
+        else:
+            assert softfloat.pack(ours) == struct.unpack(
+                "<Q", struct.pack("<d", theirs)
+            )[0]

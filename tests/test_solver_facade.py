@@ -1,0 +1,120 @@
+"""Tests for the solver façade, profiles, and unified costs."""
+
+import pytest
+
+from repro.errors import SolverError, UnsupportedLogicError
+from repro.smtlib import parse_script
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.solver import PROFILES, get_profile, solve_script
+from repro.solver import costs
+
+
+class TestProfiles:
+    def test_both_profiles_registered(self):
+        assert set(PROFILES) == {"zorro", "corvus"}
+
+    def test_get_profile(self):
+        assert get_profile("zorro").name == "zorro"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SolverError):
+            get_profile("z3")
+
+    def test_profiles_share_linear_engines(self):
+        zorro = get_profile("zorro")
+        corvus = get_profile("corvus")
+        assert zorro.engine_for("QF_LIA") is corvus.engine_for("QF_LIA")
+
+    def test_profiles_differ_on_nia(self):
+        zorro = get_profile("zorro")
+        corvus = get_profile("corvus")
+        assert zorro.engine_for("QF_NIA") is not corvus.engine_for("QF_NIA")
+
+
+class TestRouting:
+    def test_bv_script_routes_to_bitblaster(self):
+        script = parse_script(
+            "(declare-fun v () (_ BitVec 6))(assert (= (bvmul v v) (_ bv36 6)))"
+        )
+        result = solve_script(script, budget=1_000_000)
+        assert result.engine == "bv"
+        assert result.status == "sat"
+
+    def test_lia_routes_to_simplex(self):
+        script = parse_script("(declare-fun x () Int)(assert (> (* 2 x) 7))")
+        result = solve_script(script, budget=100_000)
+        assert result.engine == "simplex-bb"
+        assert result.status == "sat"
+
+    def test_nia_routes_by_profile(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (= (* x x) 49))"
+        )
+        zorro = solve_script(script, budget=1_000_000, profile="zorro")
+        corvus = solve_script(script, budget=1_000_000, profile="corvus")
+        assert zorro.engine == "nia-zorro"
+        assert corvus.engine == "nia-corvus"
+        assert zorro.status == corvus.status == "sat"
+
+    def test_nra_routes_to_icp(self):
+        script = parse_script(
+            "(declare-fun x () Real)(assert (> (* x x) 4.0))(assert (< x 0.0))"
+        )
+        result = solve_script(script, budget=1_000_000)
+        assert result.engine == "nra"
+        assert result.status == "sat"
+
+    def test_fp_scripts_rejected_with_pointer(self):
+        script = parse_script(
+            "(declare-fun f () (_ FloatingPoint 8 24))(assert (not (fp.isNaN f)))"
+        )
+        with pytest.raises(UnsupportedLogicError):
+            solve_script(script)
+
+
+class TestBudgetSemantics:
+    def test_exhaustion_is_unknown(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (= (+ (* x y) (* y z) (* x z)) 3001))"
+            "(assert (> x 10))(assert (> y 10))(assert (> z 10))"
+        )
+        result = solve_script(script, budget=1000, profile="corvus")
+        assert result.is_unknown
+
+    def test_models_check_out(self):
+        script = parse_script(
+            "(declare-fun p () Bool)(declare-fun x () Int)"
+            "(assert (ite p (> x 3) (< x (- 3))))(assert (= (* x x) 16))"
+        )
+        for profile in ("zorro", "corvus"):
+            result = solve_script(script, budget=2_000_000, profile=profile)
+            assert result.is_sat
+            assert evaluate_assertions(script.assertions, result.model)
+
+
+class TestCosts:
+    def test_unit_conversions(self):
+        assert costs.from_sat(100) == 100
+        assert costs.from_interval(10) == 10 * costs.INTERVAL_STEP
+        assert costs.from_simplex(10) == 10 * costs.PIVOT_STEP
+
+    def test_budget_conversions_inverse(self):
+        assert costs.budget_for_interval(costs.from_interval(50)) == 50
+        assert costs.budget_for_simplex(costs.from_simplex(50)) == 50
+
+    def test_none_budgets_pass_through(self):
+        assert costs.budget_for_interval(None) is None
+        assert costs.budget_for_simplex(None) is None
+
+    def test_interval_step_cheaper_than_pivot(self):
+        # The calibration ordering the cost model depends on.
+        assert costs.SAT_STEP < costs.INTERVAL_STEP < costs.PIVOT_STEP
+
+    def test_work_is_deterministic_across_runs(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)"
+            "(assert (= (* x y) 77))(assert (> x 1))(assert (< x y))"
+        )
+        works = {solve_script(script, budget=1_000_000).work for _ in range(3)}
+        assert len(works) == 1

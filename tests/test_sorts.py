@@ -1,0 +1,92 @@
+"""Tests for repro.smtlib.sorts."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.smtlib.sorts import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT,
+    REAL,
+    STANDARD_FP_SORTS,
+    bv_sort,
+    fp_sort,
+)
+
+
+class TestInterning:
+    def test_bv_sorts_are_interned(self):
+        assert bv_sort(12) is bv_sort(12)
+
+    def test_distinct_widths_are_distinct_sorts(self):
+        assert bv_sort(12) is not bv_sort(13)
+
+    def test_fp_sorts_are_interned(self):
+        assert fp_sort(8, 24) is fp_sort(8, 24)
+
+    def test_fp_distinct_shapes(self):
+        assert fp_sort(8, 24) is not fp_sort(11, 53)
+
+
+class TestClassification:
+    def test_bool_is_bounded(self):
+        assert BOOL.is_bounded
+        assert BOOL.is_bool
+
+    def test_int_is_unbounded(self):
+        assert not INT.is_bounded
+        assert INT.is_int
+        assert INT.is_numeric
+
+    def test_real_is_unbounded(self):
+        assert not REAL.is_bounded
+        assert REAL.is_real
+
+    def test_bv_is_bounded(self):
+        sort = bv_sort(8)
+        assert sort.is_bounded
+        assert sort.is_bv
+        assert sort.width == 8
+
+    def test_fp_is_bounded(self):
+        sort = fp_sort(5, 11)
+        assert sort.is_bounded
+        assert sort.is_fp
+
+    def test_bool_is_not_numeric(self):
+        assert not BOOL.is_numeric
+
+
+class TestNames:
+    def test_bv_name_is_smtlib(self):
+        assert bv_sort(12).name == "(_ BitVec 12)"
+
+    def test_fp_name_is_smtlib(self):
+        assert fp_sort(8, 24).name == "(_ FloatingPoint 8 24)"
+
+    def test_base_names(self):
+        assert BOOL.name == "Bool"
+        assert INT.name == "Int"
+        assert REAL.name == "Real"
+
+
+class TestValidation:
+    def test_zero_width_bv_rejected(self):
+        with pytest.raises(SortError):
+            bv_sort(0)
+
+    def test_tiny_fp_rejected(self):
+        with pytest.raises(SortError):
+            fp_sort(1, 11)
+
+
+class TestStandardFpSorts:
+    def test_float32_shape(self):
+        assert (FLOAT32.eb, FLOAT32.sb) == (8, 24)
+
+    def test_float64_shape(self):
+        assert (FLOAT64.eb, FLOAT64.sb) == (11, 53)
+
+    def test_standard_widths(self):
+        assert [s.width for s in STANDARD_FP_SORTS] == [16, 32, 64, 128]

@@ -1,0 +1,63 @@
+"""Tests for term substitution."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.smtlib import build
+from repro.smtlib.evaluator import evaluate
+from repro.smtlib.substitution import rename_variables, substitute, substitute_all
+
+
+class TestSubstitute:
+    def test_simple_replacement(self):
+        x = build.IntVar("x")
+        term = build.Add(x, build.IntConst(1))
+        result = substitute(term, {"x": build.IntConst(41)})
+        assert evaluate(result, {}) == 42
+
+    def test_replacement_with_term(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        term = build.Mul(x, x)
+        result = substitute(term, {"x": build.Add(y, build.IntConst(1))})
+        assert evaluate(result, {"y": 3}) == 16
+
+    def test_untouched_variables_remain(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        term = build.Add(x, y)
+        result = substitute(term, {"x": build.IntConst(1)})
+        assert "y" in result.variables()
+
+    def test_sort_mismatch_rejected(self):
+        x = build.IntVar("x")
+        with pytest.raises(SortError):
+            substitute(build.Add(x, x), {"x": build.RealConst(1)})
+
+    def test_sharing_preserved(self):
+        x = build.IntVar("x")
+        shared = build.Mul(x, x)
+        root = build.Add(shared, shared)
+        result = substitute(root, {"x": build.IntConst(2)})
+        assert result.size() == root.size()  # same DAG shape
+
+    def test_substitute_all_consistent_across_roots(self):
+        x = build.IntVar("x")
+        a = build.Gt(x, build.IntConst(0))
+        b = build.Lt(x, build.IntConst(9))
+        ra, rb = substitute_all([a, b], {"x": build.IntConst(5)})
+        assert evaluate(ra, {}) and evaluate(rb, {})
+
+
+class TestRename:
+    def test_rename_keeps_sort(self):
+        x = build.IntVar("x")
+        term = build.Gt(x, build.IntConst(3))
+        renamed = rename_variables(term, {"x": "fresh"})
+        assert set(renamed.variables()) == {"fresh"}
+        assert renamed.variables()["fresh"].sort.is_int
+
+    def test_noop_rename(self):
+        x = build.IntVar("x")
+        term = build.Gt(x, build.IntConst(3))
+        assert rename_variables(term, {"other": "z"}) is term

@@ -1,0 +1,93 @@
+"""Tests for the while-language parser and interpreter."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.termination.lang import parse_program
+from repro.termination.interp import RUNNING, TERMINATED, run_program
+
+
+class TestParser:
+    def test_simple_countdown(self):
+        program = parse_program("x := 10; while (x > 0) { x := x - 1; }")
+        assert program.variables == ["x"]
+        assert program.init == {"x": 10}
+        assert len(program.loop.guards) == 1
+        assert len(program.loop.updates) == 1
+
+    def test_affine_updates(self):
+        program = parse_program(
+            "x := 5; y := 0; while (x > 0) { x := x - 1; y := y + 2 * x; }"
+        )
+        update = program.loop.updates[1]
+        assert update.name == "y"
+        assert update.coefficients == {"y": 1, "x": 2}
+
+    def test_conjunctive_guard(self):
+        program = parse_program(
+            "x := 1; y := 9; while (x < y and x > 0) { x := x + 1; }"
+        )
+        assert len(program.loop.guards) == 2
+
+    def test_guard_relations(self):
+        program = parse_program("x := 3; while (x >= 1) { x := x - 1; }")
+        assert program.loop.guards[0].relation == ">="
+
+    def test_negative_constants(self):
+        program = parse_program("x := -5; while (x < 0) { x := x + 1; }")
+        assert program.init == {"x": -5}
+
+    def test_uninitialized_variables_allowed(self):
+        program = parse_program("while (x > 0) { x := x - y; }")
+        assert set(program.variables) == {"x", "y"}
+        assert program.init == {}
+
+    def test_non_constant_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x := y; while (x > 0) { x := x - 1; }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x == 10; while (x > 0) { }")
+
+
+class TestGuardSemantics:
+    def test_guard_evaluation(self):
+        program = parse_program("x := 1; while (x < 5) { x := x + 1; }")
+        guard = program.loop.guards[0]
+        assert guard.holds({"x": 4})
+        assert not guard.holds({"x": 5})
+
+    def test_simultaneous_updates(self):
+        program = parse_program(
+            "x := 1; y := 2; while (x < 10) { x := y; y := x; }"
+        )
+        state = program.loop.step({"x": 1, "y": 2})
+        # Swap semantics: both RHS read the OLD state.
+        assert state == {"x": 2, "y": 1}
+
+
+class TestInterpreter:
+    def test_countdown_terminates(self):
+        program = parse_program("x := 10; while (x > 0) { x := x - 3; }")
+        outcome = run_program(program)
+        assert outcome.status == TERMINATED
+        assert outcome.steps == 4
+        assert outcome.final_state["x"] <= 0
+
+    def test_divergent_loop_hits_bound(self):
+        program = parse_program("x := 1; while (x > 0) { x := x + 1; }")
+        outcome = run_program(program, max_steps=50)
+        assert outcome.status == RUNNING
+        assert outcome.steps == 50
+
+    def test_initial_overrides(self):
+        program = parse_program("while (x > 0) { x := x - 1; }")
+        outcome = run_program(program, initial_overrides={"x": 3})
+        assert outcome.status == TERMINATED
+        assert outcome.steps == 3
+
+    def test_guard_false_initially(self):
+        program = parse_program("x := 0; while (x > 0) { x := x - 1; }")
+        outcome = run_program(program)
+        assert outcome.status == TERMINATED and outcome.steps == 0

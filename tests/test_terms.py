@@ -1,0 +1,131 @@
+"""Tests for the hash-consed term DAG."""
+
+from repro.smtlib import build
+from repro.smtlib.terms import Op, Term, map_terms
+
+
+class TestHashConsing:
+    def test_identical_constants_share_nodes(self):
+        assert build.IntConst(42) is build.IntConst(42)
+
+    def test_distinct_constants_are_distinct(self):
+        assert build.IntConst(42) is not build.IntConst(43)
+
+    def test_identical_applications_share_nodes(self):
+        x = build.IntVar("x")
+        assert build.Add(x, x) is build.Add(x, x)
+
+    def test_argument_order_matters(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        assert build.Add(x, y) is not build.Add(y, x)
+
+    def test_variables_keyed_by_name_and_sort(self):
+        assert build.IntVar("x") is build.IntVar("x")
+        assert build.IntVar("x") is not build.RealVar("x")
+
+    def test_payload_distinguishes_extracts(self):
+        v = build.BitVecVar("v", 8)
+        assert build.Extract(3, 0, v) is not build.Extract(4, 1, v)
+        assert build.Extract(3, 0, v) is build.Extract(3, 0, v)
+
+    def test_tids_unique(self):
+        x = build.IntVar("x")
+        term = build.Add(x, build.IntConst(1))
+        assert term.tid != x.tid
+
+
+class TestTraversal:
+    def test_subterms_postorder_each_once(self):
+        x = build.IntVar("x")
+        shared = build.Mul(x, x)
+        root = build.Add(shared, shared)
+        nodes = list(root.subterms())
+        assert nodes.count(shared) == 1
+        assert nodes[-1] is root
+        assert nodes.index(x) < nodes.index(shared) < nodes.index(root)
+
+    def test_variables(self):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        root = build.Add(build.Mul(x, y), x)
+        assert set(root.variables()) == {"x", "y"}
+
+    def test_constants(self):
+        root = build.Add(build.IntConst(2), build.IntConst(3))
+        values = sorted(c.value for c in root.constants())
+        assert values == [2, 3]
+
+    def test_size_counts_dag_nodes(self):
+        x = build.IntVar("x")
+        shared = build.Mul(x, x)
+        root = build.Add(shared, shared)
+        assert root.size() == 3  # x, x*x, sum
+
+    def test_tree_size_counts_occurrences(self):
+        x = build.IntVar("x")
+        shared = build.Mul(x, x)
+        root = build.Add(shared, shared)
+        assert root.tree_size() == 7  # (x x *) twice + root
+
+    def test_depth(self):
+        x = build.IntVar("x")
+        assert x.depth() == 1
+        assert build.Mul(x, x).depth() == 2
+        assert build.Add(build.Mul(x, x), x).depth() == 3
+
+    def test_deep_term_traversal_is_iterative(self):
+        # Far beyond Python's default recursion limit.
+        term = build.IntVar("x")
+        for _ in range(5000):
+            term = build.Add(term, build.IntConst(1))
+        assert term.size() == 5002
+
+    def test_deep_term_repr_is_safe(self):
+        term = build.IntVar("x")
+        for _ in range(3000):
+            term = build.Neg(term)
+        assert isinstance(repr(term), str)
+
+
+class TestMapTerms:
+    def test_identity_transform_preserves_nodes(self):
+        x = build.IntVar("x")
+        root = build.Add(build.Mul(x, x), build.IntConst(1))
+
+        def identity(term, new_args):
+            if not term.args:
+                return term
+            return Term(term.op, tuple(new_args), term.payload, term.sort)
+
+        assert map_terms([root], identity)[0] is root
+
+    def test_substitution(self):
+        x = build.IntVar("x")
+        root = build.Add(x, build.IntConst(1))
+
+        def substitute(term, new_args):
+            if term.is_var:
+                return build.IntConst(5)
+            if not term.args:
+                return term
+            return Term(term.op, tuple(new_args), term.payload, term.sort)
+
+        result = map_terms([root], substitute)[0]
+        assert result is build.Add(build.IntConst(5), build.IntConst(1))
+
+    def test_multiple_roots_share_memo(self):
+        x = build.IntVar("x")
+        a = build.Mul(x, x)
+        b = build.Add(a, x)
+        calls = []
+
+        def spy(term, new_args):
+            calls.append(term)
+            if not term.args:
+                return term
+            return Term(term.op, tuple(new_args), term.payload, term.sort)
+
+        map_terms([a, b], spy)
+        # Each distinct node visited exactly once across both roots.
+        assert len(calls) == len(set(t.tid for t in calls))

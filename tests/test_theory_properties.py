@@ -1,0 +1,45 @@
+"""Tests for the Table 1 registry and the LIA bound arithmetic."""
+
+from repro.core.theory_properties import TABLE1, bits_needed, papadimitriou_bound
+
+
+class TestRegistry:
+    def test_four_logics(self):
+        assert [entry.logic for entry in TABLE1] == [
+            "QF_LIA",
+            "QF_NIA",
+            "QF_LRA",
+            "QF_NRA",
+        ]
+
+    def test_only_lia_theoretically_bounded(self):
+        bounded = [e.logic for e in TABLE1 if e.theoretically_bounded]
+        assert bounded == ["QF_LIA"]
+
+    def test_only_nia_undecidable(self):
+        undecidable = [e.logic for e in TABLE1 if not e.decidable]
+        assert undecidable == ["QF_NIA"]
+
+    def test_nothing_practically_bounded(self):
+        assert not any(e.practically_bounded for e in TABLE1)
+
+    def test_notes_cite_sources(self):
+        lia = TABLE1[0]
+        assert "Papadimitriou" in lia.note
+        nia = TABLE1[1]
+        assert "Hilbert" in nia.note
+
+
+class TestBoundArithmetic:
+    def test_formula(self):
+        # 2n(ma)^(2m+1) with n=1, m=1, a=2: 2 * 2^3 = 16.
+        assert papadimitriou_bound(1, 1, 2) == 16
+
+    def test_growth_is_exponential_in_m(self):
+        small = papadimitriou_bound(3, 5, 10)
+        bigger = papadimitriou_bound(3, 10, 10)
+        assert bigger > small**1.5
+
+    def test_bits_needed(self):
+        assert bits_needed(1) == 2
+        assert bits_needed(255) == 9

@@ -1,0 +1,205 @@
+"""Tests for the constraint transformation (Section 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.correspondence import FixedPointShape
+from repro.core.transform import transform_script
+from repro.errors import TransformError
+from repro.smtlib import build, parse_script, print_script
+from repro.smtlib.evaluator import evaluate, evaluate_assertions
+from repro.smtlib.terms import Op
+from repro.smtlib.values import BVValue
+
+
+def int_script(text):
+    return parse_script(text)
+
+
+class TestIntegerTransform:
+    def test_motivating_example_shape(self):
+        script = int_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))"
+        )
+        result = transform_script(script, "int", width=12)
+        text = print_script(result.script)
+        assert "(_ BitVec 12)" in text
+        assert "(_ bv855 12)" in text
+        assert "bvmul" in text and "bvadd" in text
+        assert "(not (bvsmulo x x))" in text  # Fig. 1b line 4
+        assert result.script.logic == "QF_BV"
+
+    def test_all_variables_share_the_width(self):
+        script = int_script(
+            "(declare-fun a () Int)(declare-fun b () Int)(assert (< a b))"
+        )
+        result = transform_script(script, "int", width=9)
+        assert all(s.width == 9 for s in result.script.declarations.values())
+
+    def test_constants_that_do_not_fit_are_rejected(self):
+        script = int_script("(declare-fun x () Int)(assert (> x 1000))")
+        with pytest.raises(TransformError):
+            transform_script(script, "int", width=8)
+
+    def test_comparisons_are_signed(self):
+        script = int_script(
+            "(declare-fun a () Int)(assert (< a (- 3)))"
+        )
+        result = transform_script(script, "int", width=8)
+        ops = {sub.op for assertion in result.script.assertions for sub in assertion.subterms()}
+        assert Op.BVSLT in ops
+        assert Op.BVULT not in ops
+
+    def test_guards_deduplicated(self):
+        script = int_script(
+            "(declare-fun x () Int)"
+            "(assert (> (* x x) 3))(assert (< (* x x) 30))"
+        )
+        result = transform_script(script, "int", width=8)
+        # One shared (* x x) product -> one bvsmulo guard.
+        assert result.guards == 1
+
+    def test_div_mod_guards_restrict_to_agreement_region(self):
+        script = int_script(
+            "(declare-fun a () Int)(declare-fun b () Int)"
+            "(assert (= (div a b) 3))"
+        )
+        result = transform_script(script, "int", width=8)
+        text = print_script(result.script)
+        assert "bvsge" in text and "bvsgt" in text  # a >= 0, b > 0
+
+    def test_back_map_produces_integers(self):
+        script = int_script("(declare-fun x () Int)(assert (> x 3))")
+        result = transform_script(script, "int", width=8)
+        assignment = result.back_map({"x": BVValue(250, 8)})
+        assert assignment == {"x": -6}
+
+    def test_booleans_pass_through(self):
+        script = int_script(
+            "(declare-fun p () Bool)(declare-fun x () Int)"
+            "(assert (ite p (> x 0) (< x 0)))"
+        )
+        result = transform_script(script, "int", width=8)
+        assert result.script.declarations["p"].is_bool
+
+
+class TestSoundnessProperty:
+    """Guarded bounded semantics agree with unbounded semantics.
+
+    If a bounded assignment satisfies the transformed constraint
+    (including guards), its back-mapped integer assignment satisfies the
+    original -- this is the exactness the verification step relies on,
+    so here it is checked directly by enumeration on small widths.
+    """
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_guarded_transform_is_exact(self, data):
+        x = build.IntVar("x")
+        y = build.IntVar("y")
+        pool = [
+            x,
+            y,
+            build.Add(x, y),
+            build.Sub(x, y),
+            build.Mul(x, y),
+            build.Mul(x, x),
+            build.Neg(y),
+            build.Abs(x),
+        ]
+        left = data.draw(st.sampled_from(pool))
+        constant = build.IntConst(data.draw(st.integers(-7, 7)))
+        op = data.draw(st.sampled_from([build.Le, build.Lt, build.Ge, build.Gt, build.Eq]))
+        assertion = op(left, constant)
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(assert true)"
+        )
+        script.assertions = [assertion]
+        width = 5
+        result = transform_script(script, "int", width=width)
+        bounded_assertions = result.script.assertions
+        for xv in range(-8, 8):
+            for yv in range(-8, 8):
+                bounded_env = {"x": BVValue(xv, width), "y": BVValue(yv, width)}
+                bounded_holds = all(
+                    evaluate(a, bounded_env) for a in bounded_assertions
+                )
+                if bounded_holds:
+                    assert evaluate(assertion, {"x": xv, "y": yv}), (
+                        assertion,
+                        xv,
+                        yv,
+                    )
+
+
+class TestRealTransform:
+    def test_dyadic_constants_are_exact(self):
+        script = parse_script(
+            "(declare-fun x () Real)(assert (> x (/ 3.0 4.0)))"
+        )
+        result = transform_script(script, "real", shape=FixedPointShape(8, 4))
+        assert not result.inexact_constants
+
+    def test_decimal_constants_are_inexact(self):
+        script = parse_script("(declare-fun x () Real)(assert (> x 0.1))")
+        result = transform_script(script, "real", shape=FixedPointShape(8, 4))
+        assert result.inexact_constants
+
+    def test_width_is_shape_total(self):
+        script = parse_script("(declare-fun x () Real)(assert (> x 1.0))")
+        result = transform_script(script, "real", shape=FixedPointShape(8, 4))
+        assert result.width == 12
+        assert result.script.declarations["x"].width == 12
+
+    def test_back_map_rescales(self):
+        script = parse_script("(declare-fun x () Real)(assert (> x 0.0))")
+        shape = FixedPointShape(8, 4)
+        result = transform_script(script, "real", shape=shape)
+        assignment = result.back_map({"x": BVValue(24, 12)})
+        assert assignment == {"x": Fraction(24, 16)}
+
+    def test_multiplication_widens_and_guards(self):
+        script = parse_script(
+            "(declare-fun x () Real)(assert (= (* x x) 4.0))"
+        )
+        result = transform_script(script, "real", shape=FixedPointShape(8, 4))
+        text = print_script(result.script)
+        assert "sign_extend" in text
+        assert "bvsmulo" in text
+        assert "bvashr" in text  # the rescale shift
+
+    def test_division_guards_against_zero(self):
+        script = parse_script(
+            "(declare-fun x () Real)(declare-fun y () Real)"
+            "(assert (= (/ x y) 2.0))"
+        )
+        result = transform_script(script, "real", shape=FixedPointShape(8, 2))
+        text = print_script(result.script)
+        assert "bvsdiv" in text
+        assert "(not (=" in text  # divisor != 0 guard
+
+    def test_exact_dyadic_model_satisfies_bounded_constraint(self):
+        # x * x = 9/4 with x = 3/2 at precision 2: everything is exact.
+        script = parse_script(
+            "(declare-fun x () Real)(assert (= (* x x) (/ 9.0 4.0)))"
+        )
+        shape = FixedPointShape(8, 2)
+        result = transform_script(script, "real", shape=shape)
+        image = Fraction(3, 2) * shape.scale
+        env = {"x": BVValue(int(image), shape.width)}
+        assert evaluate_assertions(result.script.assertions, env)
+
+
+class TestArgumentValidation:
+    def test_int_needs_width(self):
+        script = parse_script("(declare-fun x () Int)(assert (> x 0))")
+        with pytest.raises(TransformError):
+            transform_script(script, "int")
+
+    def test_real_needs_shape(self):
+        script = parse_script("(declare-fun x () Real)(assert (> x 0.0))")
+        with pytest.raises(TransformError):
+            transform_script(script, "real")

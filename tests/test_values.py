@@ -1,0 +1,84 @@
+"""Tests for repro.smtlib.values (BVValue and FPValue)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smtlib.values import BVValue, FPValue
+
+
+class TestBVValue:
+    def test_wraps_modulo_width(self):
+        assert BVValue(256, 8).unsigned == 0
+        assert BVValue(257, 8).unsigned == 1
+
+    def test_negative_wraps_to_twos_complement(self):
+        assert BVValue(-1, 8).unsigned == 255
+        assert BVValue(-1, 8).signed == -1
+
+    def test_signed_view(self):
+        assert BVValue(0x80, 8).signed == -128
+        assert BVValue(0x7F, 8).signed == 127
+
+    def test_bit_access(self):
+        value = BVValue(0b1010, 4)
+        assert [value.bit(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_equality_requires_same_width(self):
+        assert BVValue(3, 4) != BVValue(3, 5)
+        assert BVValue(3, 4) == BVValue(3, 4)
+
+    def test_hashable(self):
+        assert len({BVValue(3, 4), BVValue(3, 4), BVValue(4, 4)}) == 2
+
+    def test_smtlib_spelling(self):
+        assert BVValue(855, 12).smtlib() == "(_ bv855 12)"
+
+    def test_fits_signed(self):
+        value = BVValue(0, 8)
+        assert value.fits_signed(127)
+        assert value.fits_signed(-128)
+        assert not value.fits_signed(128)
+        assert not value.fits_signed(-129)
+
+    @given(st.integers(-1000, 1000), st.integers(2, 16))
+    def test_signed_roundtrip(self, number, width):
+        value = BVValue(number, width)
+        assert BVValue(value.signed, width).unsigned == value.unsigned
+
+
+class TestFPValue:
+    def test_zero_signs(self):
+        assert FPValue.zero(8, 24, 0) != FPValue.zero(8, 24, 1)
+        assert FPValue.zero(8, 24).is_zero
+
+    def test_nan_is_pathological(self):
+        assert FPValue.nan(8, 24).is_pathological
+        assert FPValue.nan(8, 24).is_nan
+
+    def test_inf_is_pathological(self):
+        assert FPValue.inf(8, 24).is_inf
+        assert FPValue.inf(8, 24, 1).sign == 1
+
+    def test_finite_to_fraction(self):
+        value = FPValue(8, 24, "finite", 0, 3, -1)  # 3 * 2^-1
+        assert value.to_fraction() == Fraction(3, 2)
+
+    def test_negative_to_fraction(self):
+        value = FPValue(8, 24, "finite", 1, 3, 0)
+        assert value.to_fraction() == -3
+
+    def test_pathological_to_fraction_raises(self):
+        with pytest.raises(Exception):
+            FPValue.nan(8, 24).to_fraction()
+
+    def test_structural_equality_distinguishes_zero_signs(self):
+        assert FPValue.zero(8, 24, 0) != FPValue.zero(8, 24, 1)
+
+    def test_nan_equals_nan_structurally(self):
+        assert FPValue.nan(8, 24) == FPValue.nan(8, 24)
+
+    def test_hashable(self):
+        values = {FPValue.nan(8, 24), FPValue.zero(8, 24), FPValue.zero(8, 24)}
+        assert len(values) == 2

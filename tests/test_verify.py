@@ -1,0 +1,59 @@
+"""Tests for the verification step (Section 4.4)."""
+
+from fractions import Fraction
+
+from repro.core.verify import SEMANTIC_DIFFERENCE, VERIFIED, verify_model
+from repro.smtlib import parse_script
+
+
+class TestVerify:
+    def test_correct_model_verifies(self):
+        script = parse_script(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)"
+            "(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))"
+        )
+        outcome = verify_model(script, {"x": 7, "y": 8, "z": 0})
+        assert outcome.ok
+        assert outcome.status == VERIFIED
+        assert outcome.work > 0
+
+    def test_wrong_model_is_semantic_difference(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 10))"
+        )
+        outcome = verify_model(script, {"x": 3})
+        assert not outcome.ok
+        assert outcome.status == SEMANTIC_DIFFERENCE
+        assert outcome.failing_assertion == 0
+
+    def test_failing_assertion_index(self):
+        script = parse_script(
+            "(declare-fun x () Int)"
+            "(assert (> x 0))(assert (> x 5))(assert (> x 100))"
+        )
+        outcome = verify_model(script, {"x": 10})
+        assert outcome.failing_assertion == 2
+
+    def test_missing_variable_is_difference_not_crash(self):
+        script = parse_script("(declare-fun x () Int)(assert (> x 0))")
+        outcome = verify_model(script, {})
+        assert not outcome.ok
+
+    def test_real_models_use_exact_arithmetic(self):
+        script = parse_script(
+            "(declare-fun x () Real)(assert (= (* x 3.0) 1.0))"
+        )
+        assert verify_model(script, {"x": Fraction(1, 3)}).ok
+        # A floating-point-style approximation of 1/3 must NOT verify.
+        approximation = Fraction(6004799503160661, 2**54)
+        assert not verify_model(script, {"x": approximation}).ok
+
+    def test_work_scales_with_script_size(self):
+        small = parse_script("(declare-fun x () Int)(assert (> x 0))")
+        big = parse_script(
+            "(declare-fun x () Int)"
+            + "".join(f"(assert (> (* x x) {i}))" for i in range(20))
+        )
+        small_work = verify_model(small, {"x": 1}).work
+        big_work = verify_model(big, {"x": 100}).work
+        assert big_work > small_work

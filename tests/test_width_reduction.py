@@ -1,0 +1,108 @@
+"""Tests for the bitvector width-reduction extension (Section 6.4)."""
+
+import pytest
+
+from repro.core.width_reduction import reduce_and_solve, reduce_script
+from repro.errors import TransformError
+from repro.smtlib import build, parse_script
+from repro.smtlib.evaluator import evaluate_assertions
+from repro.smtlib.script import Script
+from repro.smtlib.terms import Op
+
+
+def wide_script():
+    # The bvslt bound keeps the product below 2^8, so no narrow model can
+    # rely on 8-bit wraparound: the reduction verifies deterministically.
+    return parse_script(
+        "(declare-fun x () (_ BitVec 24))(declare-fun y () (_ BitVec 24))"
+        "(assert (= (bvmul x y) (_ bv77 24)))"
+        "(assert (bvsgt x (_ bv1 24)))(assert (bvsgt y x))"
+        "(assert (bvslt y (_ bv16 24)))"
+    )
+
+
+class TestReduceScript:
+    def test_widths_rewritten(self):
+        reduced, original = reduce_script(wide_script(), 8)
+        assert original == 24
+        assert all(s.width == 8 for s in reduced.declarations.values())
+
+    def test_constants_rewritten(self):
+        reduced, _ = reduce_script(wide_script(), 8)
+        constants = [
+            c.value.unsigned
+            for a in reduced.assertions
+            for c in a.constants()
+        ]
+        assert 77 in constants
+
+    def test_oversized_constant_refused(self):
+        script = parse_script(
+            "(declare-fun x () (_ BitVec 24))(assert (bvsgt x (_ bv1000 24)))"
+        )
+        with pytest.raises(TransformError):
+            reduce_script(script, 8)
+
+    def test_widening_refused(self):
+        with pytest.raises(TransformError):
+            reduce_script(wide_script(), 24)
+
+    def test_width_dependent_operators_refused(self):
+        x = build.BitVecVar("x", 16)
+        script = Script.from_assertions(
+            [build.Eq(build.Extract(7, 0, x), build.BitVecConst(3, 8))]
+        )
+        with pytest.raises(TransformError):
+            reduce_script(script, 8)
+
+    def test_mixed_widths_refused(self):
+        x = build.BitVecVar("x", 16)
+        y = build.BitVecVar("y", 8)
+        script = Script.from_assertions(
+            [build.Eq(x, x), build.Eq(y, y)]
+        )
+        with pytest.raises(TransformError):
+            reduce_script(script, 4)
+
+
+class TestReduceAndSolve:
+    def test_verified_model_satisfies_original(self):
+        result = reduce_and_solve(wide_script(), 8, budget=1_200_000)
+        assert result.case == "verified-sat"
+        assert result.original_width == 24 and result.reduced_width == 8
+        assert evaluate_assertions(wide_script().assertions, result.model)
+        assert result.model["x"].width == 24  # model is for the original
+
+    def test_reduction_is_cheaper_than_direct_solve(self):
+        from repro.bv.solver import solve_bounded_script
+
+        script = wide_script()
+        direct = solve_bounded_script(script, max_work=10_000_000)
+        reduced = reduce_and_solve(script, 8, budget=10_000_000)
+        assert direct.status == "sat" and reduced.usable
+        assert reduced.work < direct.work
+
+    def test_unsat_narrow_says_nothing(self):
+        # Satisfiable (x = 8), but the only 4-bit signed value above 6 is
+        # 7, which violates the modulus constraint: the narrow constraint
+        # is unsat even though the original is sat -- the
+        # underapproximation case where the caller must revert.
+        script = parse_script(
+            "(declare-fun x () (_ BitVec 16))"
+            "(assert (bvsgt x (_ bv6 16)))"
+            "(assert (= (bvsmod x (_ bv5 16)) (_ bv3 16)))"
+        )
+        from repro.bv.solver import solve_bounded_script
+
+        assert solve_bounded_script(script, max_work=2_000_000).status == "sat"
+        result = reduce_and_solve(script, 4, budget=1_200_000)
+        assert result.case == "reduced-unsat"
+        assert not result.usable
+
+    def test_unreducible_script_reports_failure(self):
+        x = build.BitVecVar("x", 16)
+        script = Script.from_assertions(
+            [build.Eq(build.bv_binary(Op.BVSHL, x, x), build.BitVecConst(4, 16))]
+        )
+        result = reduce_and_solve(script, 8)
+        assert result.case == "reduction-failed"
