@@ -1,0 +1,12 @@
+; The Section 2 motivating constraint (sum-of-three-cubes family), with
+; the smaller target used throughout the reproduction so the native
+; pure-Python stack solves it in seconds. 378 = 7^3 + 3^3 + 2^3.
+;
+; Try:  staub arbitrage --trace trace.jsonl --stats examples/motivating.smt2
+;       staub profile trace.jsonl
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(declare-fun z () Int)
+(assert (= (+ (* x x x) (* y y y) (* z z z)) 378))
+(check-sat)

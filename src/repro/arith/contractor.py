@@ -15,6 +15,7 @@ tests assert.
 
 from fractions import Fraction
 
+from repro import telemetry
 from repro.arith.interval import EMPTY, Interval
 from repro.errors import SolverError
 from repro.smtlib.sorts import INT
@@ -129,11 +130,14 @@ class Contractor:
 
     Attributes:
         work: interval-node evaluations performed (virtual cost).
+        contractions: forward-backward sweeps run (calls to
+            :meth:`contract`).
     """
 
     def __init__(self, atoms, integer_sorted=None):
         self.atoms = list(atoms)
         self.work = 0
+        self.contractions = 0
         self._integer = integer_sorted
 
     def _is_int(self, term):
@@ -403,6 +407,9 @@ class Contractor:
         Returns the contracted box, or None when some atom is certainly
         violated (the box contains no solution).
         """
+        self.contractions += 1
+        if telemetry.enabled:
+            telemetry.counter_add("solver.contractions", engine="icp")
         box = box.copy()
         for _ in range(max_passes):
             before = dict(box.intervals)

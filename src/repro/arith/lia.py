@@ -93,12 +93,25 @@ class LiaSolver:
             atoms, set(self.integer_names)
         )
         self.work = 0
+        self.pivots = 0
+        self.bb_nodes = 0
+
+    def stats(self):
+        """Uniform engine counters (see :mod:`repro.telemetry.stats`)."""
+        return {"pivots": self.pivots, "bb_nodes": self.bb_nodes}
 
     def _relaxation(self, extra_bounds, budget):
         """Solve the LRA relaxation with the given branching bounds."""
         simplex = Simplex(
             work_budget=None if budget is None else max(1, budget - self.work)
         )
+        self.bb_nodes += 1
+        try:
+            return self._relax_inner(simplex, extra_bounds)
+        finally:
+            self.pivots += simplex.pivots
+
+    def _relax_inner(self, simplex, extra_bounds):
         try:
             for atom in self.base_atoms:
                 if not atom.coefficients:

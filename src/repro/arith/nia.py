@@ -68,6 +68,19 @@ class NiaSolver:
         self._names = sorted(
             name for name, sort in self.declarations.items() if sort is INT
         )
+        self._contractors = []
+
+    def _new_contractor(self):
+        contractor = Contractor(self.atoms)
+        self._contractors.append(contractor)
+        return contractor
+
+    def stats(self):
+        """Uniform engine counters (see :mod:`repro.telemetry.stats`)."""
+        return {
+            "contractions": sum(c.contractions for c in self._contractors),
+            "interval_evals": sum(c.work for c in self._contractors),
+        }
 
     # -- exact point checking ----------------------------------------------
 
@@ -110,7 +123,7 @@ class NiaSolver:
         Returns ("sat", model), ("unsat", None), or ("unknown", None) when
         the budget ran out.
         """
-        contractor = Contractor(self.atoms)
+        contractor = self._new_contractor()
         stack = [initial_box]
         while stack:
             if budget is not None and self.work + contractor.work > budget:
@@ -153,7 +166,7 @@ class NiaSolver:
             return ArithResult("unsat", None, self.work)
 
         top = Box({name: Interval.top() for name in self._names})
-        contractor = Contractor(self.atoms)
+        contractor = self._new_contractor()
         contracted = contractor.contract(top)
         self.work += contractor.work
         if contracted is None:

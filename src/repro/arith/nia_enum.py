@@ -39,6 +39,19 @@ class NiaEnumSolver:
             name for name, sort in self.declarations.items() if sort is INT
         )
         self._literal_cost = sum(literal.size() for literal in self.literals)
+        self._contractors = []
+
+    def _new_contractor(self):
+        contractor = Contractor(self.atoms)
+        self._contractors.append(contractor)
+        return contractor
+
+    def stats(self):
+        """Uniform engine counters (see :mod:`repro.telemetry.stats`)."""
+        return {
+            "contractions": sum(c.contractions for c in self._contractors),
+            "interval_evals": sum(c.work for c in self._contractors),
+        }
 
     def _check_point(self, assignment):
         self.work += self._literal_cost
@@ -65,7 +78,7 @@ class NiaEnumSolver:
         # One contraction pass on the unbounded box: catches structurally
         # unsatisfiable input (x*x < 0) the way a real solver's
         # preprocessing would.
-        contractor = Contractor(self.atoms)
+        contractor = self._new_contractor()
         top = Box({name: Interval.top() for name in self._names})
         contracted = contractor.contract(top)
         self.work += contractor.work

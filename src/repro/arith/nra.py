@@ -69,6 +69,19 @@ class NraSolver:
         self._names = sorted(
             name for name, sort in self.declarations.items() if sort is REAL
         )
+        self._contractors = []
+
+    def _new_contractor(self):
+        contractor = Contractor(self.atoms)
+        self._contractors.append(contractor)
+        return contractor
+
+    def stats(self):
+        """Uniform engine counters (see :mod:`repro.telemetry.stats`)."""
+        return {
+            "contractions": sum(c.contractions for c in self._contractors),
+            "interval_evals": sum(c.work for c in self._contractors),
+        }
 
     def _check_point(self, assignment):
         self.work += sum(literal.size() for literal in self.literals)
@@ -123,7 +136,7 @@ class NraSolver:
         return True
 
     def _search_box(self, initial_box, budget):
-        contractor = Contractor(self.atoms)
+        contractor = self._new_contractor()
         stack = [initial_box]
         gave_up = False
         while stack:
@@ -163,7 +176,7 @@ class NraSolver:
             return ArithResult("unsat", None, self.work)
 
         top = Box({name: Interval.top() for name in self._names})
-        contractor = Contractor(self.atoms)
+        contractor = self._new_contractor()
         contracted = contractor.contract(top)
         self.work += contractor.work
         if contracted is None:

@@ -13,6 +13,7 @@ used by the evaluation harness as its virtual clock.
 
 from fractions import Fraction
 
+from repro import telemetry
 from repro.errors import BudgetExceeded
 
 
@@ -278,6 +279,18 @@ class Simplex:
         Raises:
             BudgetExceeded: the pivot budget ran out (virtual timeout).
         """
+        if not telemetry.enabled:
+            return self._check()
+        before = self.pivots
+        try:
+            return self._check()
+        finally:
+            telemetry.record_counters(
+                {"pivots": self.pivots - before, "checks": 1}, engine="simplex"
+            )
+
+    def _check(self):
+        """The Bland's-rule pivot loop behind :meth:`check`."""
         if self._infeasible:
             return False
         while True:

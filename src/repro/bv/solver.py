@@ -6,9 +6,11 @@ core. Statistics and the deterministic work counter flow back out so the
 evaluation harness can measure T_post reproducibly.
 """
 
-from repro.errors import UnsupportedLogicError
+from repro import telemetry
 from repro.bv.bitblast import BitBlaster
+from repro.errors import UnsupportedLogicError
 from repro.sat.solver import SAT, SatSolver
+from repro.telemetry.stats import unified_stats
 
 
 class BoundedResult:
@@ -29,6 +31,14 @@ class BoundedResult:
         self.stats = stats
         self.cnf_vars = cnf_vars
         self.cnf_clauses = cnf_clauses
+
+    def stats_dict(self):
+        """The uniform counter dict for this solve (telemetry shape)."""
+        return unified_stats(
+            cnf_vars=self.cnf_vars,
+            cnf_clauses=self.cnf_clauses,
+            **self.stats.as_dict(),
+        )
 
     def __repr__(self):
         return f"BoundedResult({self.status}, work={self.work})"
@@ -61,8 +71,19 @@ def solve_bounded_script(script, max_work=None, max_conflicts=None):
             )
 
     blaster = BitBlaster()
-    for assertion in script.assertions:
-        blaster.assert_term(assertion)
+    with telemetry.span("blast") as blast_span:
+        for assertion in script.assertions:
+            blaster.assert_term(assertion)
+        blast_span.add_work(BLAST_WORK_PER_CLAUSE * len(blaster.cnf.clauses))
+    if telemetry.enabled:
+        telemetry.record_counters(
+            {
+                "cnf_vars": blaster.cnf.num_vars,
+                "cnf_clauses": len(blaster.cnf.clauses),
+            },
+            prefix="blast",
+            engine="bv",
+        )
 
     blast_work = BLAST_WORK_PER_CLAUSE * len(blaster.cnf.clauses)
     sat_budget = None

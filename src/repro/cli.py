@@ -12,11 +12,18 @@ Mirrors the paper's tool surface:
 - ``staub analyze FILE``: bound inference only (widths report).
 - ``staub optimize FILE``: apply the SLOT-style passes to a bounded
   constraint and print the result.
+- ``staub profile TRACE.jsonl``: per-stage breakdown of a telemetry
+  trace recorded with ``--trace``.
+
+Observability flags (``solve`` and ``arbitrage``): ``--trace FILE.jsonl``
+writes one JSON span per pipeline stage on the deterministic virtual
+clock; ``--stats`` prints the uniform solver counters after the result.
 """
 
 import argparse
 import sys
 
+from repro import telemetry
 from repro.core.inference import infer_bounds
 from repro.core.pipeline import Staub
 from repro.errors import ReproError
@@ -24,6 +31,8 @@ from repro.evaluation.runner import TIMEOUT_WORK, to_virtual_seconds
 from repro.slot import optimize_script
 from repro.smtlib import parse_script, print_script
 from repro.solver import solve_script
+from repro.telemetry.profile import load_trace, render_profile
+from repro.version import __version__
 
 
 def _read_script(path):
@@ -50,6 +59,12 @@ def _cmd_transform(args):
     return 0
 
 
+def _print_stats(stats):
+    print("stats:")
+    for key in sorted(stats):
+        print(f"  {key} = {stats[key]}")
+
+
 def _cmd_solve(args):
     script = _read_script(args.file)
     result = solve_script(script, budget=args.budget, profile=args.profile)
@@ -58,6 +73,8 @@ def _cmd_solve(args):
           f"(~{to_virtual_seconds(result.work):.2f} virtual seconds)")
     if result.is_sat:
         print(_format_model(result.model))
+    if args.stats:
+        _print_stats(result.stats)
     return 0
 
 
@@ -76,6 +93,21 @@ def _cmd_arbitrage(args):
         print(_format_model(report.model))
     elif report.case != "verified-sat":
         print("reverting to the original constraint (no speedup)")
+    if args.stats:
+        _print_stats(report.stats)
+    return 0
+
+
+def _cmd_profile(args):
+    try:
+        spans = load_trace(args.file)
+    except ValueError as error:
+        print(f"error: {args.file} is not a JSONL trace ({error})", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"error: no spans in {args.file}", file=sys.stderr)
+        return 1
+    print(render_profile(spans))
     return 0
 
 
@@ -111,12 +143,29 @@ def _cmd_reduce(args):
     return 0
 
 
+def _add_telemetry_flags(subparser):
+    subparser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.jsonl",
+        help="write a JSONL span trace (deterministic virtual clock)",
+    )
+    subparser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the uniform solver counters after the result",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="staub",
         description="SMT theory arbitrage: unbounded -> bounded constraint transformation",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"staub {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
 
     transform = sub.add_parser("transform", help="print the bounded translation")
     transform.add_argument("file")
@@ -127,13 +176,21 @@ def build_parser():
     solve.add_argument("file")
     solve.add_argument("--profile", default="zorro", choices=("zorro", "corvus"))
     solve.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    _add_telemetry_flags(solve)
     solve.set_defaults(func=_cmd_solve)
 
     arbitrage = sub.add_parser("arbitrage", help="run the full STAUB pipeline")
     arbitrage.add_argument("file")
     arbitrage.add_argument("--width", type=int, default=None)
     arbitrage.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    _add_telemetry_flags(arbitrage)
     arbitrage.set_defaults(func=_cmd_arbitrage)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage breakdown of a --trace JSONL file"
+    )
+    profile.add_argument("file")
+    profile.set_defaults(func=_cmd_profile)
 
     analyze = sub.add_parser("analyze", help="bound inference report")
     analyze.add_argument("file")
@@ -157,7 +214,14 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        print("staub: error: a subcommand is required", file=sys.stderr)
+        return 2
+    wants_telemetry = getattr(args, "trace", None) or getattr(args, "stats", False)
     try:
+        if wants_telemetry:
+            telemetry.enable(trace_path=getattr(args, "trace", None))
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -165,6 +229,9 @@ def main(argv=None):
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if wants_telemetry:
+            telemetry.disable()
 
 
 if __name__ == "__main__":

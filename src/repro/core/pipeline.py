@@ -13,6 +13,7 @@ and ``T_pre`` otherwise -- two cores racing, never slower than the
 original (Section 5.1).
 """
 
+from repro import telemetry
 from repro.bv.solver import solve_bounded_script
 from repro.core.correspondence import FixedPointShape
 from repro.core.inference import infer_bounds
@@ -20,6 +21,7 @@ from repro.core.transform import transform_script
 from repro.core.verify import verify_model
 from repro.errors import TransformError
 from repro.solver import costs
+from repro.telemetry.stats import unified_stats
 
 #: Fig. 6 cases (plus failure modes before solving).
 CASE_VERIFIED_SAT = "verified-sat"  # speedup: return the model
@@ -51,6 +53,9 @@ class ArbitrageReport:
         shape: the fixed-point shape for real constraints.
         inference: the :class:`BoundInference` (None if analysis failed).
         bounded_status: raw status from the bounded solver.
+        stats: uniform counter dict (see :mod:`repro.telemetry.stats`)
+            with the bounded solver's counters plus ``width`` and
+            ``case`` labels.
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class ArbitrageReport:
         shape=None,
         inference=None,
         bounded_status=None,
+        stats=None,
     ):
         self.case = case
         self.model = model
@@ -74,6 +80,7 @@ class ArbitrageReport:
         self.shape = shape
         self.inference = inference
         self.bounded_status = bounded_status
+        self.stats = stats if stats is not None else unified_stats(case=case)
 
     @property
     def total_work(self):
@@ -156,14 +163,24 @@ class Staub:
             TransformError: unsupported constraint or unrepresentable
                 constants at the chosen width.
         """
-        inference = infer_bounds(script)
-        if inference.theory == "int":
-            width = self._choose_int_width(inference)
-            result = transform_script(script, "int", width=width)
-        else:
-            shape = self._choose_shape(inference)
-            result = transform_script(script, "real", shape=shape)
-        t_trans = TRANSLATE_COST_PER_NODE * script.size()
+        # t_trans covers analysis + translation; on the trace it splits
+        # evenly between the two stages (TRANSLATE_COST_PER_NODE == 2:
+        # one unit per node to analyze, one to translate).
+        size = script.size()
+        with telemetry.span("infer") as span:
+            inference = infer_bounds(script)
+            span.set_attr("theory", inference.theory)
+            span.add_work(size)
+        with telemetry.span("transform") as span:
+            if inference.theory == "int":
+                width = self._choose_int_width(inference)
+                result = transform_script(script, "int", width=width)
+            else:
+                shape = self._choose_shape(inference)
+                result = transform_script(script, "real", shape=shape)
+            span.set_attr("width", result.width)
+            t_trans = TRANSLATE_COST_PER_NODE * size
+            span.settle(t_trans - size)
         return result, inference, t_trans
 
     def run(self, script, budget=None):
@@ -179,18 +196,26 @@ class Staub:
         try:
             transformed, inference, t_trans = self.transform(script)
         except TransformError:
-            return ArbitrageReport(CASE_TRANSFORM_FAILED)
+            return self._finish(ArbitrageReport(CASE_TRANSFORM_FAILED))
 
         bounded_script = transformed.script
         if self.optimizer is not None:
             # RQ2: chain a bounded-constraint optimizer (SLOT) after the
             # arbitrage; its cost is part of T_trans.
-            bounded_script = self.optimizer(bounded_script)
-            t_trans += TRANSLATE_COST_PER_NODE * transformed.script.size()
+            with telemetry.span("transform", phase="slot") as span:
+                bounded_script = self.optimizer(bounded_script)
+                extra = TRANSLATE_COST_PER_NODE * transformed.script.size()
+                t_trans += extra
+                span.add_work(extra)
 
         remaining = None if budget is None else max(1, budget - t_trans)
-        bounded = solve_bounded_script(bounded_script, max_work=remaining)
-        t_post = costs.from_sat(bounded.work)
+        with telemetry.span("bounded-solve", width=transformed.width) as span:
+            bounded = solve_bounded_script(bounded_script, max_work=remaining)
+            t_post = costs.from_sat(bounded.work)
+            span.set_attr("status", bounded.status)
+            span.settle(t_post)
+        stats = bounded.stats_dict()
+        stats["width"] = transformed.width
         common = dict(
             t_trans=t_trans,
             t_post=t_post,
@@ -198,21 +223,38 @@ class Staub:
             shape=transformed.shape,
             inference=inference,
             bounded_status=bounded.status,
+            stats=stats,
         )
 
         if bounded.status == "unknown":
-            return ArbitrageReport(CASE_BOUNDED_UNKNOWN, **common)
+            return self._finish(ArbitrageReport(CASE_BOUNDED_UNKNOWN, **common))
         if bounded.status == "unsat":
             # Original-unsat and bounds-insufficient are indistinguishable
             # (Fig. 6 case 1): revert.
-            return ArbitrageReport(CASE_BOUNDED_UNSAT, **common)
+            return self._finish(ArbitrageReport(CASE_BOUNDED_UNSAT, **common))
 
         candidate = transformed.back_map(bounded.model)
-        outcome = verify_model(script, candidate)
+        with telemetry.span("verify") as span:
+            outcome = verify_model(script, candidate)
+            span.set_attr("ok", outcome.ok)
+            span.settle(outcome.work)
         common["t_check"] = outcome.work
         if outcome.ok:
-            return ArbitrageReport(CASE_VERIFIED_SAT, model=candidate, **common)
-        return ArbitrageReport(CASE_SEMANTIC_DIFFERENCE, **common)
+            return self._finish(
+                ArbitrageReport(CASE_VERIFIED_SAT, model=candidate, **common)
+            )
+        return self._finish(ArbitrageReport(CASE_SEMANTIC_DIFFERENCE, **common))
+
+    @staticmethod
+    def _finish(report):
+        """Telemetry hook: label the report and bump the Fig. 6 counters."""
+        report.stats["case"] = report.case
+        if telemetry.enabled:
+            telemetry.counter_add("arbitrage.case", case=report.case)
+            if report.width is not None:
+                telemetry.observe("arbitrage.width", int(report.width))
+            telemetry.observe("arbitrage.total_work", report.total_work)
+        return report
 
 
 def portfolio_time(t_pre, report):

@@ -8,9 +8,10 @@ Usage::
 """
 
 import argparse
+import json
 import sys
-import time
 
+from repro import telemetry
 from repro.evaluation import (
     ablation,
     bounded_gap,
@@ -73,22 +74,54 @@ def main(argv=None):
     )
     parser.add_argument("--json", default=None, help="also dump raw rows as JSON")
     parser.add_argument("--csv", default=None, help="also dump raw rows as CSV")
+    parser.add_argument(
+        "--telemetry",
+        default="results_telemetry.json",
+        help="path for the aggregated telemetry artifact ('' to disable)",
+    )
+    parser.add_argument(
+        "--trace", default=None, help="also write a JSONL span trace"
+    )
     args = parser.parse_args(argv)
 
+    # The harness runs with telemetry on: per-experiment spans time the
+    # runs (wall-clock on stderr for humans, virtual work in the
+    # artifact), and the engines' counters land in the default registry.
+    telemetry.enable(trace_path=args.trace, wall_clock=True)
     cache = ExperimentCache(seed=args.seed, scale=args.scale)
     wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    for experiment in wanted:
-        start = time.time()
-        print("=" * 78)
-        print(run(experiment, cache, args))
-        print(f"[{experiment} took {time.time() - start:.1f}s wall]")
-        print()
-    if args.json or args.csv:
-        from repro.evaluation.export import write_results
+    experiment_spans = []
+    try:
+        for experiment in wanted:
+            with telemetry.span(f"experiment:{experiment}") as span:
+                output = run(experiment, cache, args)
+            print("=" * 78)
+            print(output)
+            # Progress goes to stderr so stdout stays machine-parseable.
+            print(
+                f"[{experiment} took {span.wall_seconds:.1f}s wall]",
+                file=sys.stderr,
+            )
+            print()
+            experiment_spans.append({"experiment": experiment, "work": span.work})
+        if args.json or args.csv:
+            from repro.evaluation.export import write_results
 
-        written = write_results(cache, json_path=args.json, csv_path=args.csv)
-        for path in written:
-            print(f"wrote {path}")
+            written = write_results(cache, json_path=args.json, csv_path=args.csv)
+            for path in written:
+                print(f"wrote {path}")
+        if args.telemetry:
+            artifact = {
+                "experiments": experiment_spans,
+                "cells": cache.telemetry_summary(),
+                "metrics": telemetry.snapshot(),
+            }
+            with open(args.telemetry, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.telemetry}")
+    finally:
+        telemetry.disable()
     return 0
 
 

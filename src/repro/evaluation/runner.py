@@ -17,6 +17,7 @@ Every (suite, profile, strategy) cell is computed once and memoized, so
 the table/figure modules can share runs.
 """
 
+from repro import telemetry
 from repro.benchgen import suite_for
 from repro.core.pipeline import Staub, portfolio_time
 from repro.slot import optimize_script
@@ -133,11 +134,19 @@ class ExperimentCache:
         if cached is not None:
             return cached
         benchmark = self._find(logic, name)
-        result = solve_script(benchmark.script, budget=self.timeout, profile=profile)
+        with telemetry.span("baseline", logic=logic, profile=profile):
+            result = solve_script(
+                benchmark.script, budget=self.timeout, profile=profile
+            )
         timed_out = result.is_unknown
         work = self.timeout if timed_out else min(result.work, self.timeout)
         record = BaselineRecord(result.status, work, timed_out)
         self._baselines[key] = record
+        if telemetry.enabled:
+            telemetry.counter_add("eval.baseline_runs", logic=logic, profile=profile)
+            telemetry.counter_add("eval.baseline_work", work, logic=logic, profile=profile)
+            if timed_out:
+                telemetry.counter_add("eval.baseline_timeouts", logic=logic, profile=profile)
         return record
 
     # -- arbitrage runs -----------------------------------------------------------
@@ -156,9 +165,17 @@ class ExperimentCache:
             return cached
         benchmark = self._find(logic, name)
         staub = make_staub(strategy, slot=slot)
-        report = staub.run(benchmark.script, budget=self.timeout)
+        with telemetry.span("arbitrage", logic=logic, strategy=canonical):
+            report = staub.run(benchmark.script, budget=self.timeout)
         record = ArbitrageRecord(report)
         self._arbitrage[key] = record
+        if telemetry.enabled:
+            labels = dict(logic=logic, strategy=canonical)
+            telemetry.counter_add("eval.arbitrage_runs", **labels)
+            telemetry.counter_add("eval.arbitrage_work", record.total_work, **labels)
+            telemetry.counter_add("eval.arbitrage_case", case=record.case, **labels)
+            if record.usable:
+                telemetry.counter_add("eval.arbitrage_verified", **labels)
         return record
 
     # -- combined rows ------------------------------------------------------------
@@ -192,6 +209,60 @@ class ExperimentCache:
             self.row(logic, benchmark.name, profile, strategy, slot=slot)
             for benchmark in self.suite(logic)
         ]
+
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry_summary(self):
+        """Deterministic per-cell aggregates over every memoized run.
+
+        Baseline cells are keyed ``logic/profile``; arbitrage cells
+        ``logic/strategy`` (with a ``+slot`` suffix when the optimizer
+        ran). Only runs that actually happened appear, so the summary is
+        cheap to build and reflects exactly what an invocation computed.
+        """
+        baselines = {}
+        for (logic, _name, profile) in sorted(self._baselines):
+            record = self._baselines[(logic, _name, profile)]
+            cell = baselines.setdefault(
+                f"{logic}/{profile}",
+                {"benchmarks": 0, "timeouts": 0, "total_work": 0, "status": {}},
+            )
+            cell["benchmarks"] += 1
+            cell["total_work"] += record.work
+            cell["timeouts"] += 1 if record.timed_out else 0
+            cell["status"][record.status] = cell["status"].get(record.status, 0) + 1
+
+        arbitrage = {}
+        for (logic, _name, strategy, slot) in sorted(self._arbitrage):
+            record = self._arbitrage[(logic, _name, strategy, slot)]
+            key = f"{logic}/{strategy}" + ("+slot" if slot else "")
+            cell = arbitrage.setdefault(
+                key,
+                {
+                    "benchmarks": 0,
+                    "verified": 0,
+                    "total_work": 0,
+                    "t_trans": 0,
+                    "t_post": 0,
+                    "t_check": 0,
+                    "cases": {},
+                },
+            )
+            cell["benchmarks"] += 1
+            cell["verified"] += 1 if record.usable else 0
+            cell["total_work"] += record.total_work
+            cell["t_trans"] += record.t_trans
+            cell["t_post"] += record.t_post
+            cell["t_check"] += record.t_check
+            cell["cases"][record.case] = cell["cases"].get(record.case, 0) + 1
+
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "timeout": self.timeout,
+            "baselines": baselines,
+            "arbitrage": arbitrage,
+        }
 
     # -- helpers -----------------------------------------------------------
 

@@ -18,6 +18,7 @@ Literals use the DIMACS convention externally (``v`` / ``-v``) and are
 mapped internally to ``2*v`` / ``2*v+1``.
 """
 
+from repro import telemetry
 from repro.errors import SolverError
 
 SAT = "sat"
@@ -498,6 +499,20 @@ class SatSolver:
         Returns:
             ``SAT``, ``UNSAT``, or ``UNKNOWN`` (budget exhausted).
         """
+        if not telemetry.enabled:
+            return self._search(assumptions, max_conflicts, max_work)
+        before = self.stats.as_dict()
+        result = self._search(assumptions, max_conflicts, max_work)
+        after = self.stats.as_dict()
+        telemetry.record_counters(
+            {key: after[key] - before[key] for key in after},
+            engine="sat",
+        )
+        telemetry.counter_add("solver.solve_calls", engine="sat")
+        return result
+
+    def _search(self, assumptions=(), max_conflicts=None, max_work=None):
+        """The CDCL search loop behind :meth:`solve`."""
         if not self._ok:
             return UNSAT
         self._backtrack(0)  # reset any state left by a previous solve call

@@ -12,6 +12,7 @@ degenerates to a single theory call -- but full boolean structure
 generated "industrial" workloads exercise.
 """
 
+from repro import telemetry
 from repro.errors import SolverError
 from repro.sat.solver import SAT as SAT_RESULT
 from repro.sat.solver import UNKNOWN as SAT_UNKNOWN
@@ -20,6 +21,38 @@ from repro.smtlib import build
 from repro.smtlib.sorts import BOOL
 from repro.smtlib.terms import Op
 from repro.solver.result import SAT, UNKNOWN, UNSAT, SolveResult
+from repro.telemetry.stats import merge_stats, unified_stats
+
+
+class TheoryOutcome(tuple):
+    """The DPLL(T) result: unpacks like the historical 4-tuple.
+
+    ``status, model, theory_work, sat_work = solve_with_theory(...)``
+    keeps working; the extra :attr:`stats` attribute carries the uniform
+    counter dict (skeleton CDCL counters + theory-engine counters +
+    ``theory_rounds``).
+    """
+
+    def __new__(cls, status, model, theory_work, sat_work, stats=None):
+        outcome = super().__new__(cls, (status, model, theory_work, sat_work))
+        outcome.stats = stats if stats is not None else unified_stats()
+        return outcome
+
+    @property
+    def status(self):
+        return self[0]
+
+    @property
+    def model(self):
+        return self[1]
+
+    @property
+    def theory_work(self):
+        return self[2]
+
+    @property
+    def sat_work(self):
+        return self[3]
 
 #: Boolean-structure operators: everything below these is a theory atom.
 _STRUCTURE_OPS = {Op.NOT, Op.AND, Op.OR, Op.XOR, Op.IMPLIES}
@@ -141,8 +174,10 @@ def solve_with_theory(script, theory_factory, budget=None, max_rounds=2000):
         max_rounds: safety cap on skeleton/theory iterations.
 
     Returns:
-        ``(status, model, theory_work, sat_work)`` where theory_work is in
-        the theory engine's raw units and sat_work in SAT steps.
+        A :class:`TheoryOutcome` -- unpacks as ``(status, model,
+        theory_work, sat_work)`` where theory_work is in the theory
+        engine's raw units and sat_work in SAT steps; also carries a
+        uniform ``stats`` dict.
     """
     skeleton = _Skeleton()
     for assertion in script.assertions:
@@ -151,15 +186,28 @@ def solve_with_theory(script, theory_factory, budget=None, max_rounds=2000):
 
     theory_work = 0
     rounds = 0
+    theory_stats = {}
+
+    def finish(status, model):
+        stats = unified_stats(**skeleton.solver.stats.as_dict())
+        merge_stats(stats, theory_stats)
+        stats["theory_rounds"] = rounds
+        if telemetry.enabled:
+            telemetry.counter_add("dpllt.rounds", rounds)
+            telemetry.counter_add("dpllt.queries", 1)
+        return TheoryOutcome(
+            status, model, theory_work, skeleton.solver.work(), stats=stats
+        )
+
     while True:
         rounds += 1
         if rounds > max_rounds:
-            return UNKNOWN, None, theory_work, skeleton.solver.work()
+            return finish(UNKNOWN, None)
         sat_status = skeleton.solver.solve(max_work=budget)
         if sat_status == SAT_UNKNOWN:
-            return UNKNOWN, None, theory_work, skeleton.solver.work()
+            return finish(UNKNOWN, None)
         if sat_status != SAT_RESULT:
-            return UNSAT, None, theory_work, skeleton.solver.work()
+            return finish(UNSAT, None)
         sat_model = skeleton.solver.model()
 
         literals = []
@@ -177,21 +225,24 @@ def solve_with_theory(script, theory_factory, budget=None, max_rounds=2000):
         engine = theory_factory(literals, script.declarations)
         outcome = engine.solve(remaining)
         theory_work += outcome.work
+        engine_stats = getattr(engine, "stats", None)
+        if callable(engine_stats):
+            merge_stats(theory_stats, engine_stats())
 
         if outcome.status == "sat":
             model = dict(outcome.model or {})
             model.update(bool_assignment)
             _complete_model(model, script)
-            return SAT, model, theory_work, skeleton.solver.work()
+            return finish(SAT, model)
         if outcome.status == "unknown":
-            return UNKNOWN, None, theory_work, skeleton.solver.work()
+            return finish(UNKNOWN, None)
         # Theory-unsat: block this boolean assignment and continue.
         if not blocking:
-            return UNSAT, None, theory_work, skeleton.solver.work()
+            return finish(UNSAT, None)
         if not skeleton.solver.add_clause(blocking):
-            return UNSAT, None, theory_work, skeleton.solver.work()
+            return finish(UNSAT, None)
         if budget is not None and theory_work >= budget:
-            return UNKNOWN, None, theory_work, skeleton.solver.work()
+            return finish(UNKNOWN, None)
 
 
 def _complete_model(model, script):

@@ -4,14 +4,20 @@
 the bit-blasting back end and unbounded ones to DPLL(T) over the profile's
 theory engine, and reports results on the unified virtual clock
 (:mod:`repro.solver.costs`).
+
+Both paths populate the same uniform ``stats`` dict on the result (see
+:mod:`repro.telemetry.stats`); the historical engine-specific ``detail``
+dict survives as a deprecated alias of ``stats``.
 """
 
+from repro import telemetry
 from repro.bv.solver import solve_bounded_script
 from repro.errors import UnsupportedLogicError
 from repro.solver import costs
 from repro.solver.dpllt import solve_with_theory
 from repro.solver.profiles import get_profile
 from repro.solver.result import SAT, UNKNOWN, UNSAT, SolveResult
+from repro.telemetry.stats import unified_stats
 
 
 def _bounded_logic(script):
@@ -41,18 +47,19 @@ def solve_script(script, budget=None, profile="zorro"):
                 "floating-point scripts are solved through the fixed-point "
                 "encoding (see repro.fp.fixedpoint), not directly"
             )
-        bounded = solve_bounded_script(script, max_work=budget)
-        return SolveResult(
+        with telemetry.span("solve", engine="bv", profile=profile.name) as span:
+            bounded = solve_bounded_script(script, max_work=budget)
+            work = costs.from_sat(bounded.work)
+            span.settle(work)
+        result = SolveResult(
             bounded.status,
             bounded.model,
-            costs.from_sat(bounded.work),
+            work,
             engine="bv",
-            detail={
-                "cnf_vars": bounded.cnf_vars,
-                "cnf_clauses": bounded.cnf_clauses,
-                **bounded.stats.as_dict(),
-            },
+            stats=bounded.stats_dict(),
         )
+        _record_solve(result, profile.name)
+        return result
 
     logic = script.logic or script.infer_logic()
     if logic not in ("QF_LIA", "QF_LRA", "QF_NIA", "QF_NRA"):
@@ -73,8 +80,28 @@ def solve_script(script, budget=None, profile="zorro"):
         if logic == "QF_NIA":
             engine_name = f"nia-{profile.name}"
 
-    status, model, theory_work, sat_work = solve_with_theory(
-        script, engine_factory, budget=raw_budget
+    with telemetry.span("solve", engine=engine_name, profile=profile.name) as span:
+        outcome = solve_with_theory(script, engine_factory, budget=raw_budget)
+        status, model, theory_work, sat_work = outcome
+        work = to_unified(theory_work) + costs.from_sat(sat_work)
+        span.settle(work)
+    result = SolveResult(
+        status, model, work, engine=engine_name, stats=outcome.stats
     )
-    work = to_unified(theory_work) + costs.from_sat(sat_work)
-    return SolveResult(status, model, work, engine=engine_name)
+    _record_solve(result, profile.name)
+    return result
+
+
+def _record_solve(result, profile_name):
+    """Metrics hook: one bulk counter update per top-level solve."""
+    if not telemetry.enabled:
+        return
+    telemetry.counter_add(
+        "solve.requests", engine=result.engine, profile=profile_name
+    )
+    telemetry.counter_add(
+        "solve.status", engine=result.engine, status=result.status
+    )
+    telemetry.observe(
+        "solve.work", result.work, engine=result.engine, profile=profile_name
+    )

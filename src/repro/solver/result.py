@@ -15,17 +15,27 @@ class SolveResult:
         work: deterministic unified work units spent -- the virtual clock
             every experiment reports (see :mod:`repro.solver.costs`).
         engine: which engine produced the result (e.g. ``"nia"``, ``"bv"``).
-        detail: free-form statistics dictionary.
+        stats: uniform statistics dict (see
+            :mod:`repro.telemetry.stats`); every engine fills the same
+            key set.
+        detail: deprecated alias for ``stats``.
     """
 
-    __slots__ = ("status", "model", "work", "engine", "detail")
+    __slots__ = ("status", "model", "work", "engine", "stats")
 
-    def __init__(self, status, model=None, work=0, engine="", detail=None):
+    def __init__(self, status, model=None, work=0, engine="", stats=None, detail=None):
         self.status = status
         self.model = model
         self.work = work
         self.engine = engine
-        self.detail = detail or {}
+        # ``detail=`` is the pre-telemetry spelling; accept it so old
+        # callers keep working, but the canonical attribute is ``stats``.
+        self.stats = stats if stats is not None else (detail if detail is not None else {})
+
+    @property
+    def detail(self):
+        """Deprecated alias for :attr:`stats`."""
+        return self.stats
 
     @property
     def is_sat(self):

@@ -1,0 +1,70 @@
+"""Per-stage breakdown of a JSONL trace (the ``staub profile`` view).
+
+Reads the span records written by :class:`~repro.telemetry.spans.JsonlWriter`
+and aggregates virtual work by stage name, so a trace of one (or many)
+pipeline runs collapses into the paper's Fig. 3 decomposition:
+
+    stage            spans       work     share
+    infer                1         12      4.2%
+    transform            1         12      4.2%
+    bounded-solve        1        241     84.6%
+    verify               1         20      7.0%
+"""
+
+import json
+
+#: The Fig. 3 pipeline stages, in execution order.
+FIG3_STAGES = ("infer", "transform", "bounded-solve", "verify")
+
+
+def load_trace(path):
+    """Parse a JSONL trace file into a list of span dicts."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def aggregate(spans):
+    """Aggregate spans by name: ``{name: {"spans": n, "work": w}}``.
+
+    Only leaf-relative work is *not* separated out -- a parent span's
+    work includes its children's, so the share column is computed against
+    the total of the stage rows requested, not the roots.
+    """
+    stages = {}
+    for span in spans:
+        entry = stages.setdefault(span["name"], {"spans": 0, "work": 0})
+        entry["spans"] += 1
+        entry["work"] += span.get("work", 0)
+    return stages
+
+
+def render_profile(spans, stage_order=FIG3_STAGES):
+    """Human-readable per-stage table for a trace.
+
+    Stages in ``stage_order`` come first (present or not -- a stage the
+    trace never reached prints as zero); any other span names follow in
+    sorted order.
+    """
+    stages = aggregate(spans)
+    names = [name for name in stage_order]
+    names += sorted(name for name in stages if name not in stage_order)
+    denominator = sum(stages.get(name, {}).get("work", 0) for name in stage_order)
+    if denominator == 0:
+        denominator = sum(entry["work"] for entry in stages.values()) or 1
+
+    width = max([len(name) for name in names] + [len("stage")])
+    lines = [f"{'stage':<{width}}  {'spans':>6}  {'work':>10}  {'share':>6}"]
+    for name in names:
+        entry = stages.get(name, {"spans": 0, "work": 0})
+        share = 100.0 * entry["work"] / denominator
+        lines.append(
+            f"{name:<{width}}  {entry['spans']:>6}  {entry['work']:>10}  {share:>5.1f}%"
+        )
+    total = sum(stages.get(name, {}).get("work", 0) for name in stage_order)
+    lines.append(f"{'total (pipeline)':<{width}}  {'':>6}  {total:>10}")
+    return "\n".join(lines)

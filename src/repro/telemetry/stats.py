@@ -1,0 +1,50 @@
+"""The uniform per-result statistics vocabulary.
+
+Every engine used to report its own partial ``detail`` dict (the bounded
+path had CNF sizes, the unbounded path had nothing). This module fixes a
+single key set so that :class:`~repro.solver.result.SolveResult.stats`
+and :class:`~repro.core.pipeline.ArbitrageReport.stats` always carry the
+same shape, with zeros for counters an engine does not have.
+"""
+
+#: Canonical counter keys, in reporting order.
+STAT_KEYS = (
+    "propagations",
+    "conflicts",
+    "restarts",
+    "decisions",
+    "learned_clauses",
+    "deleted_clauses",
+    "minimized_literals",
+    "pivots",
+    "bb_nodes",
+    "contractions",
+    "interval_evals",
+    "cnf_vars",
+    "cnf_clauses",
+    "theory_rounds",
+)
+
+
+def unified_stats(**counts):
+    """A stats dict with every canonical key, zeros filled in.
+
+    Unknown keys are kept too (engines may report extras such as
+    ``width`` or ``case``); canonical keys always come first.
+    """
+    stats = {key: 0 for key in STAT_KEYS}
+    stats.update(counts)
+    return stats
+
+
+def merge_stats(target, extra):
+    """Accumulate numeric counters from ``extra`` into ``target`` in place.
+
+    Non-numeric values (labels like ``case``) overwrite instead of add.
+    """
+    for key, value in extra.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            target[key] = value
+        else:
+            target[key] = target.get(key, 0) + value
+    return target
