@@ -268,7 +268,13 @@ class Contractor:
                     if other_tid != tid:
                         others = others * memo[other_tid].power(other_count)
                 # base**count must lie in target/others; take the count-th
-                # root preimage (exact for x*x-style squares).
+                # root preimage (exact for x*x-style squares). This is the
+                # relational inverse of multiplication, not SMT-LIB total
+                # division: when the other factors admit zero and the
+                # target admits zero, this factor is unconstrained
+                # (0 * anything = 0), so do not narrow it.
+                if others.contains(Fraction(0)) and target.contains(Fraction(0)):
+                    continue
                 power_target = target.divide(others)
                 self._narrow(
                     representatives[tid], power_target.root(count), box, memo, queue

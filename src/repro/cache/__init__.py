@@ -1,0 +1,67 @@
+"""Result caching for the STAUB stack.
+
+The cache is keyed by the canonical printed form of the *normalized*
+script (see :mod:`repro.cache.keys`): commutative arguments ordered,
+assertions de-duplicated and sorted, declarations sorted. Two scripts
+that are permutations of the same conjunction therefore share a key --
+and never solve twice.
+
+A process-wide *active cache* can be installed with :func:`set_cache`
+(or scoped with :func:`activated`); :func:`repro.solver.solve_script`
+consults it automatically, so the CLI and the evaluation runner only
+need to install a store to memoize every top-level solve.
+"""
+
+from contextlib import contextmanager
+
+from repro.cache.keys import CanonicalOrder, cache_key, canonical_text, normalize_assertions
+from repro.cache.store import (
+    DEFAULT_MAX_ENTRIES,
+    SolveCache,
+    decode_model,
+    encode_model,
+    entry_from_result,
+    result_from_entry,
+)
+
+__all__ = [
+    "CanonicalOrder",
+    "DEFAULT_MAX_ENTRIES",
+    "SolveCache",
+    "activated",
+    "cache_key",
+    "canonical_text",
+    "decode_model",
+    "encode_model",
+    "entry_from_result",
+    "get_cache",
+    "normalize_assertions",
+    "result_from_entry",
+    "set_cache",
+]
+
+#: The process-wide active cache (None = caching off).
+_active = None
+
+
+def get_cache():
+    """The active :class:`SolveCache`, or None when caching is off."""
+    return _active
+
+
+def set_cache(cache):
+    """Install (or clear, with None) the active cache; returns the old one."""
+    global _active
+    previous = _active
+    _active = cache
+    return previous
+
+
+@contextmanager
+def activated(cache):
+    """Scope an active cache to a ``with`` block."""
+    previous = set_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_cache(previous)

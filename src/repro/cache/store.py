@@ -1,0 +1,196 @@
+"""The solve cache: a bounded LRU store with optional JSON persistence.
+
+Entries are plain JSON-serializable dicts so a cache file written by one
+process (or one ``run_all`` invocation) can warm any later one. Models
+are encoded value-by-value (ints, booleans, fractions, bitvectors);
+a model value the encoder does not recognize raises ``TypeError`` and
+the caller skips caching that result rather than storing a lossy entry.
+
+Hit/miss/eviction counts feed the :mod:`repro.telemetry` registry
+(``cache.hit`` / ``cache.miss`` / ``cache.eviction``) and are also kept
+on the store itself so the CLI can report them without telemetry. The
+persistent file carries lifetime totals across sessions.
+"""
+
+import json
+import os
+from collections import OrderedDict
+from fractions import Fraction
+
+from repro import telemetry
+from repro.smtlib.values import BVValue
+
+#: Default in-memory entry bound; old entries are evicted LRU-first.
+DEFAULT_MAX_ENTRIES = 4096
+
+_FORMAT_VERSION = 1
+
+
+# -- model value encoding ---------------------------------------------------
+
+
+def encode_value(value):
+    """Encode one model value as a JSON-safe tagged dict."""
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, Fraction):
+        return {"t": "frac", "n": value.numerator, "d": value.denominator}
+    if isinstance(value, BVValue):
+        return {"t": "bv", "v": value.unsigned, "w": value.width}
+    raise TypeError(f"cannot encode model value {value!r}")
+
+
+def decode_value(encoded):
+    """Inverse of :func:`encode_value`."""
+    tag = encoded["t"]
+    if tag == "bool":
+        return bool(encoded["v"])
+    if tag == "int":
+        return int(encoded["v"])
+    if tag == "frac":
+        return Fraction(encoded["n"], encoded["d"])
+    if tag == "bv":
+        return BVValue(encoded["v"], encoded["w"])
+    raise ValueError(f"unknown encoded value tag {tag!r}")
+
+
+def encode_model(model):
+    if model is None:
+        return None
+    return {name: encode_value(value) for name, value in model.items()}
+
+
+def decode_model(encoded):
+    if encoded is None:
+        return None
+    return {name: decode_value(value) for name, value in encoded.items()}
+
+
+def entry_from_result(result):
+    """Serialize a :class:`SolveResult` into a cache entry dict."""
+    return {
+        "status": result.status,
+        "work": result.work,
+        "engine": result.engine,
+        "model": encode_model(result.model),
+        "stats": dict(result.stats),
+    }
+
+
+def result_from_entry(entry):
+    """Rehydrate a :class:`SolveResult` from a cache entry dict."""
+    # Imported here: repro.solver's facade imports this module at load
+    # time, so a top-level import would be circular.
+    from repro.solver.result import SolveResult
+
+    return SolveResult(
+        entry["status"],
+        decode_model(entry.get("model")),
+        entry.get("work", 0),
+        engine=entry.get("engine", ""),
+        stats=dict(entry.get("stats") or {}),
+        cached=True,
+    )
+
+
+# -- the store --------------------------------------------------------------
+
+
+class SolveCache:
+    """Bounded LRU cache of solve entries, optionally backed by a file.
+
+    Args:
+        path: JSON file to load from (if it exists) and :meth:`save` to.
+        max_entries: in-memory bound; ``None`` means unbounded.
+    """
+
+    def __init__(self, path=None, max_entries=DEFAULT_MAX_ENTRIES):
+        self.path = os.fspath(path) if path is not None else None
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0}
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key, kind="solve"):
+        """Look up an entry; returns None (and counts a miss) if absent."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            telemetry.counter_add("cache.miss", kind=kind)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        telemetry.counter_add("cache.hit", kind=kind)
+        return entry
+
+    def put(self, key, entry, kind="solve"):
+        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry.counter_add("cache.eviction", kind=kind)
+
+    def clear(self):
+        self._entries.clear()
+
+    def stats(self):
+        """Session and lifetime counters plus the current entry count."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lifetime_hits": self._lifetime["hits"] + self.hits,
+            "lifetime_misses": self._lifetime["misses"] + self.misses,
+            "lifetime_evictions": self._lifetime["evictions"] + self.evictions,
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def _load(self):
+        with open(self.path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"cache file {self.path} has unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        for key, entry in payload.get("entries", {}).items():
+            self._entries[key] = entry
+        stored = payload.get("stats", {})
+        for field in self._lifetime:
+            self._lifetime[field] = int(stored.get(field, 0))
+
+    def save(self, path=None):
+        """Write all entries (and lifetime stats) to the backing file."""
+        target = path if path is not None else self.path
+        if target is None:
+            raise ValueError("SolveCache has no path to save to")
+        stats = self.stats()
+        payload = {
+            "version": _FORMAT_VERSION,
+            "stats": {
+                "hits": stats["lifetime_hits"],
+                "misses": stats["lifetime_misses"],
+                "evictions": stats["lifetime_evictions"],
+            },
+            "entries": dict(self._entries),
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return target

@@ -12,6 +12,11 @@ Mirrors the paper's tool surface:
 - ``staub analyze FILE``: bound inference only (widths report).
 - ``staub optimize FILE``: apply the SLOT-style passes to a bounded
   constraint and print the result.
+- ``staub portfolio FILE``: race the unbounded original (both solver
+  profiles) against the STAUB translation; deterministic interleaved
+  slices by default, real processes with ``--jobs N``.
+- ``staub cache stats/clear FILE.json``: inspect or reset a persistent
+  solve cache (built by ``solve --cache`` / ``run_all --cache``).
 - ``staub profile TRACE.jsonl``: per-stage breakdown of a telemetry
   trace recorded with ``--trace``.
 
@@ -24,6 +29,7 @@ import argparse
 import sys
 
 from repro import telemetry
+from repro.cache import SolveCache
 from repro.core.inference import infer_bounds
 from repro.core.pipeline import Staub
 from repro.errors import ReproError
@@ -67,14 +73,63 @@ def _print_stats(stats):
 
 def _cmd_solve(args):
     script = _read_script(args.file)
-    result = solve_script(script, budget=args.budget, profile=args.profile)
+    cache = SolveCache(path=args.cache) if args.cache else None
+    result = solve_script(script, budget=args.budget, profile=args.profile, cache=cache)
     print(result.status)
     print(f"; engine={result.engine} work={result.work} "
-          f"(~{to_virtual_seconds(result.work):.2f} virtual seconds)")
+          f"(~{to_virtual_seconds(result.work):.2f} virtual seconds)"
+          + (" [cached]" if result.cached else ""))
     if result.is_sat:
         print(_format_model(result.model))
     if args.stats:
         _print_stats(result.stats)
+    if cache is not None:
+        cache.save()
+    return 0
+
+
+def _cmd_portfolio(args):
+    from repro.portfolio.scheduler import InterleavingScheduler, parallel_race
+    from repro.portfolio.tasks import default_tasks
+
+    script = _read_script(args.file)
+    tasks = default_tasks()
+    if args.jobs > 1:
+        outcome = parallel_race(tasks, script, budget=args.budget, jobs=args.jobs)
+        mode = f"parallel x{args.jobs}"
+    else:
+        scheduler = InterleavingScheduler(
+            tasks, budget=args.budget, initial_slice=args.slice_work
+        )
+        outcome = scheduler.run(script)
+        mode = "deterministic interleaving"
+    winner = outcome.winner.lane if outcome.winner is not None else "(none)"
+    print(outcome.status)
+    print(f"; winner={winner} mode={mode} rounds={outcome.rounds}")
+    print(f"; observed work={outcome.observed_work} "
+          f"(~{to_virtual_seconds(outcome.observed_work):.2f} virtual seconds), "
+          f"total across lanes={outcome.total_work}")
+    if outcome.status == "sat" and outcome.model is not None:
+        print(_format_model(outcome.model))
+    return 0
+
+
+def _cmd_cache_stats(args):
+    cache = SolveCache(path=args.path)
+    stats = cache.stats()
+    print(f"cache: {args.path}")
+    print(f"  entries = {stats['entries']}")
+    for field in ("hits", "misses", "evictions"):
+        print(f"  lifetime {field} = {stats[f'lifetime_{field}']}")
+    return 0
+
+
+def _cmd_cache_clear(args):
+    cache = SolveCache(path=args.path)
+    entries = len(cache)
+    cache.clear()
+    cache.save()
+    print(f"cleared {entries} entries from {args.path}")
     return 0
 
 
@@ -176,8 +231,46 @@ def build_parser():
     solve.add_argument("file")
     solve.add_argument("--profile", default="zorro", choices=("zorro", "corvus"))
     solve.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    solve.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE.json",
+        help="persistent solve cache; repeated solves of equivalent "
+        "scripts are answered without running an engine",
+    )
     _add_telemetry_flags(solve)
     solve.set_defaults(func=_cmd_solve)
+
+    portfolio = sub.add_parser(
+        "portfolio",
+        help="race original + STAUB-translated configurations, first answer wins",
+    )
+    portfolio.add_argument("file")
+    portfolio.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    portfolio.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="1 = deterministic interleaved slices; N>1 = real processes",
+    )
+    portfolio.add_argument(
+        "--slice",
+        dest="slice_work",
+        type=int,
+        default=4096,
+        help="first-round work slice for the deterministic scheduler",
+    )
+    _add_telemetry_flags(portfolio)
+    portfolio.set_defaults(func=_cmd_portfolio)
+
+    cache = sub.add_parser("cache", help="inspect or reset a persistent solve cache")
+    cache_sub = cache.add_subparsers(dest="cache_command")
+    cache_stats = cache_sub.add_parser("stats", help="entry and hit/miss totals")
+    cache_stats.add_argument("path")
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+    cache_clear = cache_sub.add_parser("clear", help="drop every entry")
+    cache_clear.add_argument("path")
+    cache_clear.set_defaults(func=_cmd_cache_clear)
 
     arbitrage = sub.add_parser("arbitrage", help="run the full STAUB pipeline")
     arbitrage.add_argument("file")
@@ -214,7 +307,7 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command is None:
+    if args.command is None or not hasattr(args, "func"):
         parser.print_usage(sys.stderr)
         print("staub: error: a subcommand is required", file=sys.stderr)
         return 2

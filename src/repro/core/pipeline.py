@@ -16,6 +16,7 @@ original (Section 5.1).
 from repro import telemetry
 from repro.bv.solver import solve_bounded_script
 from repro.core.correspondence import FixedPointShape
+from repro.portfolio.scheduler import PrecomputedAttempt, race_precomputed
 from repro.core.inference import infer_bounds
 from repro.core.transform import transform_script
 from repro.core.verify import verify_model
@@ -268,7 +269,14 @@ def portfolio_time(t_pre, report):
     Returns:
         ``min(t_pre, report.total_work)`` when STAUB's run produced a
         usable answer, else ``t_pre``.
+
+    Implemented on the portfolio scheduler's accounting
+    (:func:`repro.portfolio.scheduler.race_precomputed`): the original
+    lane is always conclusive (its timeout *is* the fallback answer the
+    user waits for), the STAUB lane only when the model verified.
     """
-    if report.usable:
-        return min(t_pre, report.total_work)
-    return t_pre
+    lanes = [
+        PrecomputedAttempt("original", conclusive=True, work=t_pre),
+        PrecomputedAttempt("staub", conclusive=report.usable, work=report.total_work),
+    ]
+    return race_precomputed(lanes).observed_work

@@ -5,6 +5,15 @@ Usage::
     python -m repro.evaluation.run_all                    # everything
     python -m repro.evaluation.run_all --experiment table3
     python -m repro.evaluation.run_all --scale 0.25       # quick pass
+    python -m repro.evaluation.run_all --jobs 4           # parallel solves
+    python -m repro.evaluation.run_all --cache runs.json  # persistent memo
+
+``--jobs N`` precomputes the standard (logic x profile) baseline cells
+and (logic x strategy) arbitrage cells in N worker processes before the
+(serial, deterministic) rendering pass; results are identical in status,
+but worker scheduling is wall-clock-dependent. ``--cache PATH`` persists
+every solve, so a second invocation performs zero fresh solves (watch
+``eval.cache_hit`` vs ``eval.baseline_runs`` in the telemetry artifact).
 """
 
 import argparse
@@ -12,6 +21,9 @@ import json
 import sys
 
 from repro import telemetry
+from repro.cache import SolveCache
+from repro.cache.keys import cache_key
+from repro.cache.store import entry_from_result
 from repro.evaluation import (
     ablation,
     bounded_gap,
@@ -24,7 +36,18 @@ from repro.evaluation import (
     table2,
     table3,
 )
-from repro.evaluation.runner import ExperimentCache
+from repro.evaluation.runner import (
+    LOGICS,
+    SOLVER_PROFILES,
+    STRATEGIES,
+    TIMEOUT_WORK,
+    ArbitrageRecord,
+    BaselineRecord,
+    ExperimentCache,
+    make_staub,
+)
+from repro.solver import solve_script
+from repro.telemetry.metrics import MetricsRegistry
 
 EXPERIMENTS = (
     "table1",
@@ -64,11 +87,149 @@ def run(experiment, cache, args):
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
+# -- parallel cell precompute (--jobs N) ------------------------------------
+
+
+def _solve_cell(payload):
+    """Worker: solve one (kind, logic, config) cell from scratch.
+
+    Runs in a separate process; rebuilds the (deterministic) suite from
+    the seed and returns plain JSON-safe tuples so nothing exotic needs
+    pickling. Persistent-cache entries ride along so the parent can warm
+    its store without re-solving.
+    """
+    kind, logic, config, slot, seed, scale, timeout = payload
+    cache = ExperimentCache(seed=seed, scale=scale, timeout=timeout)
+    records = {}
+    entries = {}
+    if kind == "baseline":
+        for benchmark in cache.suite(logic):
+            result = solve_script(benchmark.script, budget=timeout, profile=config)
+            timed_out = result.is_unknown
+            work = timeout if timed_out else min(result.work, timeout)
+            records[benchmark.name] = (result.status, work, timed_out)
+            key = cache_key(benchmark.script, profile=config, budget=timeout)
+            try:
+                entries[key] = entry_from_result(result)
+            except TypeError:
+                pass
+    else:
+        for benchmark in cache.suite(logic):
+            staub = make_staub(config, slot=slot)
+            report = staub.run(benchmark.script, budget=timeout)
+            record = ArbitrageRecord(report, timeout=timeout)
+            records[benchmark.name] = record.to_entry()
+            key = cache_key(
+                benchmark.script,
+                budget=timeout,
+                kind="arbitrage",
+                extra={"strategy": config, "slot": slot},
+            )
+            entries[key] = record.to_entry()
+    return (kind, logic, config, slot, records, entries)
+
+
+def _cell_is_warm(cache, store, kind, logic, config, slot):
+    """True when the persistent store already holds every key of a cell."""
+    if store is None:
+        return False
+    for benchmark in cache.suite(logic):
+        if kind == "baseline":
+            key = cache_key(benchmark.script, profile=config, budget=cache.timeout)
+        else:
+            key = cache_key(
+                benchmark.script,
+                budget=cache.timeout,
+                kind="arbitrage",
+                extra={"strategy": config, "slot": slot},
+            )
+        if key not in store:
+            return False
+    return True
+
+
+def _precompute_parallel(cache, jobs, store=None):
+    """Fill the experiment cache's standard grid using worker processes.
+
+    Cells fully covered by the persistent store are skipped here; the
+    runner serves them lazily from the cache (counted as
+    ``eval.cache_hit``, never as fresh runs).
+    """
+    import multiprocessing
+
+    payloads = []
+    for logic in LOGICS:
+        for profile in SOLVER_PROFILES:
+            if not _cell_is_warm(cache, store, "baseline", logic, profile, False):
+                payloads.append(
+                    ("baseline", logic, profile, False, cache.seed, cache.scale, cache.timeout)
+                )
+        for strategy in STRATEGIES:
+            if not _cell_is_warm(cache, store, "arbitrage", logic, strategy, False):
+                payloads.append(
+                    ("arbitrage", logic, strategy, False, cache.seed, cache.scale, cache.timeout)
+                )
+    if not payloads:
+        return
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    with context.Pool(processes=jobs) as pool:
+        results = pool.map(_solve_cell, payloads)
+    for kind, logic, config, slot, records, entries in results:
+        if kind == "baseline":
+            for name in sorted(records):
+                status, work, timed_out = records[name]
+                cache._baselines[(logic, name, config)] = BaselineRecord(
+                    status, work, timed_out
+                )
+                telemetry.counter_add("eval.baseline_runs", logic=logic, profile=config)
+                telemetry.counter_add(
+                    "eval.baseline_work", work, logic=logic, profile=config
+                )
+                if timed_out:
+                    telemetry.counter_add(
+                        "eval.baseline_timeouts", logic=logic, profile=config
+                    )
+        else:
+            for name in sorted(records):
+                record = ArbitrageRecord.from_entry(records[name])
+                cache._arbitrage[(logic, name, config, slot)] = record
+                labels = dict(logic=logic, strategy=config)
+                telemetry.counter_add("eval.arbitrage_runs", **labels)
+                telemetry.counter_add("eval.arbitrage_work", record.total_work, **labels)
+                telemetry.counter_add("eval.arbitrage_case", case=record.case, **labels)
+                if record.usable:
+                    telemetry.counter_add("eval.arbitrage_verified", **labels)
+        if store is not None:
+            for key in sorted(entries):
+                if key not in store:
+                    store.put(key, entries[key], kind=kind)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiment", default="all", help="one of: all, " + ", ".join(EXPERIMENTS))
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument("--scale", type=float, default=1.0, help="suite size multiplier")
+    parser.add_argument(
+        "--timeout",
+        type=int,
+        default=TIMEOUT_WORK,
+        help="unified-work budget per solve (the virtual 300 s)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for precomputing the standard cells "
+        "(1 = fully deterministic serial run)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE.json",
+        help="persistent solve cache; a warm cache skips every redundant solve",
+    )
     parser.add_argument(
         "--client-programs", type=int, default=97, help="program count for fig8"
     )
@@ -86,12 +247,20 @@ def main(argv=None):
 
     # The harness runs with telemetry on: per-experiment spans time the
     # runs (wall-clock on stderr for humans, virtual work in the
-    # artifact), and the engines' counters land in the default registry.
-    telemetry.enable(trace_path=args.trace, wall_clock=True)
-    cache = ExperimentCache(seed=args.seed, scale=args.scale)
+    # artifact). A fresh registry per invocation keeps the artifact
+    # byte-identical across repeated in-process runs.
+    telemetry.enable(trace_path=args.trace, wall_clock=True, registry=MetricsRegistry())
+    store = SolveCache(path=args.cache) if args.cache else None
+    cache = ExperimentCache(
+        seed=args.seed, scale=args.scale, timeout=args.timeout, solve_cache=store
+    )
     wanted = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     experiment_spans = []
     try:
+        if args.jobs > 1:
+            with telemetry.span("precompute", jobs=args.jobs):
+                _precompute_parallel(cache, args.jobs, store=store)
+            print(f"[precomputed standard cells with {args.jobs} jobs]", file=sys.stderr)
         for experiment in wanted:
             with telemetry.span(f"experiment:{experiment}") as span:
                 output = run(experiment, cache, args)
@@ -120,6 +289,15 @@ def main(argv=None):
                 json.dump(artifact, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print(f"wrote {args.telemetry}")
+        if store is not None:
+            store.save()
+            stats = store.stats()
+            print(
+                f"cache: {stats['entries']} entries, "
+                f"{stats['hits']} hits / {stats['misses']} misses this run "
+                f"-> {args.cache}",
+                file=sys.stderr,
+            )
     finally:
         telemetry.disable()
     return 0

@@ -14,11 +14,16 @@ Methodology (Section 5.1 of the paper, adapted to the virtual clock):
   out but STAUB produced a verified answer.
 
 Every (suite, profile, strategy) cell is computed once and memoized, so
-the table/figure modules can share runs.
+the table/figure modules can share runs. Passing a
+:class:`~repro.cache.SolveCache` additionally persists every baseline
+solve and arbitrage record across invocations: a second ``run_all`` with
+a warm cache performs zero fresh solves (``eval.cache_hit`` counts them
+instead of ``eval.baseline_runs`` / ``eval.arbitrage_runs``).
 """
 
 from repro import telemetry
 from repro.benchgen import suite_for
+from repro.cache.keys import cache_key
 from repro.core.pipeline import Staub, portfolio_time
 from repro.slot import optimize_script
 from repro.solver import solve_script
@@ -88,15 +93,42 @@ class ArbitrageRecord:
         "bounded_status",
     )
 
-    def __init__(self, report):
+    def __init__(self, report, timeout=TIMEOUT_WORK):
         self.case = report.case
-        self.total_work = min(report.total_work, TIMEOUT_WORK)
+        self.total_work = min(report.total_work, timeout)
         self.t_trans = report.t_trans
         self.t_post = report.t_post
         self.t_check = report.t_check
         self.width = report.width
         self.usable = report.usable
         self.bounded_status = report.bounded_status  # raw solver status
+
+    def to_entry(self):
+        """JSON-safe dict for the persistent solve cache."""
+        return {
+            "kind": "arbitrage",
+            "case": self.case,
+            "total_work": self.total_work,
+            "t_trans": self.t_trans,
+            "t_post": self.t_post,
+            "t_check": self.t_check,
+            "width": None if self.width is None else int(self.width),
+            "usable": self.usable,
+            "bounded_status": self.bounded_status,
+        }
+
+    @classmethod
+    def from_entry(cls, entry):
+        record = cls.__new__(cls)
+        record.case = entry["case"]
+        record.total_work = entry["total_work"]
+        record.t_trans = entry["t_trans"]
+        record.t_post = entry["t_post"]
+        record.t_check = entry["t_check"]
+        record.width = entry["width"]
+        record.usable = entry["usable"]
+        record.bounded_status = entry["bounded_status"]
+        return record
 
 
 class ExperimentCache:
@@ -106,12 +138,16 @@ class ExperimentCache:
         seed: suite generation seed.
         scale: suite size multiplier (use < 1 for quick runs).
         timeout: unified-work timeout (default :data:`TIMEOUT_WORK`).
+        solve_cache: optional :class:`~repro.cache.SolveCache`; baseline
+            solves and arbitrage records are read from and written to it,
+            persisting results across runner invocations.
     """
 
-    def __init__(self, seed=2024, scale=1.0, timeout=TIMEOUT_WORK):
+    def __init__(self, seed=2024, scale=1.0, timeout=TIMEOUT_WORK, solve_cache=None):
         self.seed = seed
         self.scale = scale
         self.timeout = timeout
+        self.solve_cache = solve_cache
         self._suites = {}
         self._baselines = {}
         self._arbitrage = {}
@@ -136,14 +172,22 @@ class ExperimentCache:
         benchmark = self._find(logic, name)
         with telemetry.span("baseline", logic=logic, profile=profile):
             result = solve_script(
-                benchmark.script, budget=self.timeout, profile=profile
+                benchmark.script,
+                budget=self.timeout,
+                profile=profile,
+                cache=self.solve_cache,
             )
         timed_out = result.is_unknown
         work = self.timeout if timed_out else min(result.work, self.timeout)
         record = BaselineRecord(result.status, work, timed_out)
         self._baselines[key] = record
         if telemetry.enabled:
-            telemetry.counter_add("eval.baseline_runs", logic=logic, profile=profile)
+            if result.cached:
+                telemetry.counter_add(
+                    "eval.cache_hit", kind="baseline", logic=logic, profile=profile
+                )
+            else:
+                telemetry.counter_add("eval.baseline_runs", logic=logic, profile=profile)
             telemetry.counter_add("eval.baseline_work", work, logic=logic, profile=profile)
             if timed_out:
                 telemetry.counter_add("eval.baseline_timeouts", logic=logic, profile=profile)
@@ -164,11 +208,29 @@ class ExperimentCache:
         if cached is not None:
             return cached
         benchmark = self._find(logic, name)
+        persistent_key = None
+        if self.solve_cache is not None:
+            persistent_key = cache_key(
+                benchmark.script,
+                budget=self.timeout,
+                kind="arbitrage",
+                extra={"strategy": canonical, "slot": slot},
+            )
+            entry = self.solve_cache.get(persistent_key, kind="arbitrage")
+            if entry is not None:
+                record = ArbitrageRecord.from_entry(entry)
+                self._arbitrage[key] = record
+                telemetry.counter_add(
+                    "eval.cache_hit", kind="arbitrage", logic=logic, strategy=canonical
+                )
+                return record
         staub = make_staub(strategy, slot=slot)
         with telemetry.span("arbitrage", logic=logic, strategy=canonical):
             report = staub.run(benchmark.script, budget=self.timeout)
-        record = ArbitrageRecord(report)
+        record = ArbitrageRecord(report, timeout=self.timeout)
         self._arbitrage[key] = record
+        if persistent_key is not None:
+            self.solve_cache.put(persistent_key, record.to_entry(), kind="arbitrage")
         if telemetry.enabled:
             labels = dict(logic=logic, strategy=canonical)
             telemetry.counter_add("eval.arbitrage_runs", **labels)

@@ -1,0 +1,330 @@
+"""Portfolio schedulers: race solving lanes, first conclusive answer wins.
+
+Two execution models share one outcome shape:
+
+- :class:`InterleavingScheduler` -- the default, *deterministic* model.
+  Lanes are restarted round-robin with geometrically growing work-slice
+  budgets on the unified virtual clock, exactly the Luby-style restart
+  shape portfolio SAT solvers use. No wall clock, no OS scheduling:
+  the winner, every per-lane work figure, and all telemetry are
+  byte-identical across runs.
+- :func:`parallel_race` -- real ``multiprocessing`` workers, one per
+  lane, for the evaluation runner's ``--jobs N`` mode. The first
+  conclusive answer wins and the losing processes are terminated. The
+  *status* matches the deterministic model (all conclusive lanes agree),
+  but the winning lane and wall-clock are scheduling-dependent.
+
+This module deliberately imports nothing from :mod:`repro.core` or
+:mod:`repro.solver`; lane behavior lives in task objects (see
+:mod:`repro.portfolio.tasks`) so that :mod:`repro.core.pipeline` can
+build its portfolio accounting on top of :func:`race_precomputed`
+without an import cycle.
+"""
+
+from repro import telemetry
+
+#: First-round per-lane budget for the interleaved scheduler.
+DEFAULT_SLICE = 4096
+
+#: Budget multiplier between rounds.
+DEFAULT_GROWTH = 4
+
+
+class Attempt:
+    """One lane's run at one slice budget.
+
+    Attributes:
+        lane: the lane name.
+        status: ``"sat"`` / ``"unsat"`` / ``"unknown"`` *for the original
+            question* (an inconclusive bounded answer reports unknown).
+        conclusive: True when this answer settles the original question.
+        work: unified work this attempt spent.
+        payload: lane-specific result object (SolveResult, report, ...).
+    """
+
+    __slots__ = ("lane", "status", "conclusive", "work", "payload")
+
+    def __init__(self, lane, status, conclusive, work, payload=None):
+        self.lane = lane
+        self.status = status
+        self.conclusive = conclusive
+        self.work = work
+        self.payload = payload
+
+    def __repr__(self):
+        tag = "conclusive" if self.conclusive else "inconclusive"
+        return f"Attempt({self.lane}, {self.status}, {tag}, work={self.work})"
+
+
+class PrecomputedAttempt(Attempt):
+    """An attempt whose outcome is already known (no script to run)."""
+
+    def __init__(self, lane, conclusive, work, status=None, payload=None):
+        status = status if status is not None else ("sat" if conclusive else "unknown")
+        Attempt.__init__(self, lane, status, conclusive, work, payload)
+
+
+class PortfolioOutcome:
+    """The result of racing a set of lanes on one script.
+
+    Attributes:
+        winner: the winning :class:`Attempt`, or None (every lane
+            exhausted its budget inconclusively).
+        status: the winner's status, or ``"unknown"``.
+        observed_work: the user-observed virtual cost -- lanes run
+            concurrently, so each round contributes its longest slice,
+            and the final round only the winner's finishing time.
+        total_work: everything actually spent across all lanes and
+            restarts (the "cluster cost").
+        rounds: number of work-slice rounds executed.
+        history: per-round lists of :class:`Attempt`.
+    """
+
+    __slots__ = ("winner", "status", "observed_work", "total_work", "rounds", "history")
+
+    def __init__(self, winner, observed_work, total_work, rounds, history):
+        self.winner = winner
+        self.status = winner.status if winner is not None else "unknown"
+        self.observed_work = observed_work
+        self.total_work = total_work
+        self.rounds = rounds
+        self.history = history
+
+    @property
+    def model(self):
+        payload = self.winner.payload if self.winner is not None else None
+        return getattr(payload, "model", None)
+
+    def __repr__(self):
+        lane = self.winner.lane if self.winner is not None else None
+        return (
+            f"PortfolioOutcome({self.status}, winner={lane}, "
+            f"observed={self.observed_work}, rounds={self.rounds})"
+        )
+
+
+def _pick_winner(attempts):
+    """The conclusive attempt that finishes first on the virtual clock.
+
+    Minimum work wins; ``min`` is stable, so ties break toward the
+    earlier lane in configuration order -- deterministic either way.
+    """
+    conclusive = [attempt for attempt in attempts if attempt.conclusive]
+    if not conclusive:
+        return None
+    return min(conclusive, key=lambda attempt: attempt.work)
+
+
+def race_precomputed(attempts):
+    """Race already-computed attempts (one virtual round, no restarts).
+
+    This is the accounting core shared with
+    :func:`repro.core.pipeline.portfolio_time`: the lanes ran
+    concurrently, the first conclusive finisher wins, and the observed
+    cost is the winner's work -- or, with no winner, the longest lane
+    (every core ran to exhaustion).
+    """
+    attempts = list(attempts)
+    if not attempts:
+        raise ValueError("cannot race an empty portfolio")
+    winner = _pick_winner(attempts)
+    total = sum(attempt.work for attempt in attempts)
+    if winner is None:
+        observed = max(attempt.work for attempt in attempts)
+    else:
+        observed = winner.work
+    return PortfolioOutcome(winner, observed, total, rounds=1, history=[attempts])
+
+
+class InterleavingScheduler:
+    """Deterministic round-robin portfolio over restartable lanes.
+
+    Args:
+        tasks: lane objects exposing ``name`` and
+            ``attempt(script, budget) -> Attempt``.
+        budget: overall per-lane work budget (None = a single unlimited
+            round).
+        initial_slice: first-round budget per lane.
+        growth: slice multiplier between rounds.
+    """
+
+    def __init__(
+        self,
+        tasks,
+        budget=None,
+        initial_slice=DEFAULT_SLICE,
+        growth=DEFAULT_GROWTH,
+    ):
+        if not tasks:
+            raise ValueError("portfolio needs at least one lane")
+        if growth < 2:
+            raise ValueError("slice growth must be at least 2")
+        self.tasks = list(tasks)
+        self.budget = budget
+        self.initial_slice = initial_slice
+        self.growth = growth
+
+    def run(self, script):
+        """Race the lanes on one script; returns a :class:`PortfolioOutcome`."""
+        history = []
+        total = 0
+        if self.budget is None:
+            slice_budget = None  # one unlimited round
+        else:
+            slice_budget = min(self.initial_slice, self.budget)
+        with telemetry.span("portfolio", lanes=len(self.tasks)) as span:
+            while True:
+                attempts = []
+                for task in self.tasks:
+                    attempt = task.attempt(script, slice_budget)
+                    attempts.append(attempt)
+                    total += attempt.work
+                history.append(attempts)
+                winner = _pick_winner(attempts)
+                exhausted = slice_budget is None or slice_budget >= self.budget
+                if winner is not None or exhausted:
+                    break
+                slice_budget = min(slice_budget * self.growth, self.budget)
+            observed = sum(
+                max(attempt.work for attempt in round_attempts)
+                for round_attempts in history[:-1]
+            )
+            if winner is not None:
+                observed += winner.work
+            else:
+                observed += max(attempt.work for attempt in history[-1])
+            span.set_attr("rounds", len(history))
+            span.set_attr("winner", winner.lane if winner else None)
+            span.settle(observed)
+        outcome = PortfolioOutcome(winner, observed, total, len(history), history)
+        self._record(outcome)
+        return outcome
+
+    @staticmethod
+    def _record(outcome):
+        if not telemetry.enabled:
+            return
+        lane = outcome.winner.lane if outcome.winner is not None else "none"
+        telemetry.counter_add("portfolio.races")
+        telemetry.counter_add("portfolio.winner", lane=lane)
+        telemetry.counter_add("portfolio.rounds", outcome.rounds)
+        telemetry.observe("portfolio.observed_work", outcome.observed_work)
+        telemetry.observe("portfolio.total_work", outcome.total_work)
+
+
+# -- real parallelism -------------------------------------------------------
+
+
+def _race_worker(task, script_text, budget, index, queue):
+    """Run one lane in a worker process and report a picklable summary."""
+    from repro.cache.store import encode_model
+    from repro.smtlib.parser import parse_script
+
+    try:
+        script = parse_script(script_text)
+        attempt = task.attempt(script, budget)
+        model = getattr(attempt.payload, "model", None)
+        try:
+            encoded = encode_model(model)
+        except TypeError:
+            encoded = None
+        queue.put(
+            (index, task.name, attempt.status, attempt.conclusive, attempt.work, encoded)
+        )
+    except Exception as error:  # pragma: no cover - worker crash safety net
+        queue.put((index, task.name, "error", False, 0, repr(error)))
+
+
+def parallel_race(tasks, script, budget=None, jobs=None, wall_timeout=600.0):
+    """Race lanes as real OS processes; first conclusive answer wins.
+
+    Args:
+        tasks: lane objects (must be picklable).
+        script: the script to solve (shipped to workers as SMT-LIB text).
+        budget: per-lane unified work budget.
+        jobs: max concurrent worker processes (default: one per lane).
+        wall_timeout: safety net in wall seconds per queue wait.
+
+    Returns:
+        A :class:`PortfolioOutcome`. ``winner.payload`` is the decoded
+        model dict (or None); per-lane work is as reported by the lanes
+        that finished before the race was decided.
+    """
+    import multiprocessing
+    import queue as queue_module
+
+    from repro.cache.store import decode_model
+    from repro.smtlib.printer import print_script
+
+    tasks = list(tasks)
+    if not tasks:
+        raise ValueError("cannot race an empty portfolio")
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    results_queue = context.Queue()
+    text = print_script(script)
+    pending = list(enumerate(tasks))
+    running = {}
+    attempts = []
+    winner = None
+    jobs = len(tasks) if jobs is None else max(1, jobs)
+
+    def launch_next():
+        while pending and len(running) < jobs:
+            index, task = pending.pop(0)
+            process = context.Process(
+                target=_race_worker,
+                args=(task, text, budget, index, results_queue),
+                daemon=True,
+            )
+            process.start()
+            running[index] = process
+
+    try:
+        launch_next()
+        while running and winner is None:
+            try:
+                index, lane, status, conclusive, work, model = results_queue.get(
+                    timeout=wall_timeout
+                )
+            except queue_module.Empty:
+                break  # safety net: treat as exhausted
+            process = running.pop(index, None)
+            if process is not None:
+                process.join(timeout=5)
+            if status == "error":
+                continue
+            payload = None
+            if conclusive and model is not None:
+                payload = _ModelPayload(decode_model(model))
+            attempt = Attempt(lane, status, conclusive, work, payload)
+            attempts.append(attempt)
+            if conclusive:
+                winner = attempt
+                break
+            launch_next()
+    finally:
+        for process in running.values():
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5)
+
+    total = sum(attempt.work for attempt in attempts)
+    if winner is not None:
+        observed = winner.work
+    elif attempts:
+        observed = max(attempt.work for attempt in attempts)
+    else:
+        observed = 0
+    outcome = PortfolioOutcome(winner, observed, total, rounds=1, history=[attempts])
+    InterleavingScheduler._record(outcome)
+    return outcome
+
+
+class _ModelPayload:
+    """Minimal payload wrapper so ``outcome.model`` works for races."""
+
+    __slots__ = ("model",)
+
+    def __init__(self, model):
+        self.model = model

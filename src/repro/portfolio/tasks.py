@@ -1,0 +1,85 @@
+"""Portfolio lanes: the configurations the scheduler races.
+
+The paper's portfolio (Section 5.1) races the *unbounded original*
+constraint against the *STAUB-bounded translation* and takes the first
+usable answer. Here that grid is:
+
+- one :class:`BaselineTask` per solver profile (``zorro`` / ``corvus``)
+  solving the original constraint, and
+- one :class:`ArbitrageTask` per width strategy running the full
+  underapproximate-then-verify pipeline.
+
+The bounded lane bit-blasts to SAT, which is identical under both
+profiles, so the nominal {bounded, unbounded} x {zorro, corvus} grid
+collapses to three distinct lanes by default -- racing the bounded lane
+twice would just duplicate work.
+
+Lane answers are mapped to the *original* question before the scheduler
+sees them: a bounded ``unsat`` or an unverified bounded model is
+inconclusive (the sound-approximation cases of Fig. 6), so a portfolio
+win is always a sound answer.
+"""
+
+from repro.core.pipeline import Staub
+from repro.portfolio.scheduler import Attempt
+from repro.solver import solve_script
+
+#: Conclusive statuses for the unbounded baseline lane.
+_CONCLUSIVE = ("sat", "unsat")
+
+
+class BaselineTask:
+    """Solve the original, unbounded constraint under one profile."""
+
+    __slots__ = ("profile", "name")
+
+    def __init__(self, profile="zorro"):
+        self.profile = profile
+        self.name = f"original/{profile}"
+
+    def attempt(self, script, budget):
+        result = solve_script(script, budget=budget, profile=self.profile)
+        return Attempt(
+            self.name,
+            result.status,
+            result.status in _CONCLUSIVE,
+            result.work,
+            payload=result,
+        )
+
+    def __repr__(self):
+        return f"BaselineTask({self.profile})"
+
+
+class ArbitrageTask:
+    """Run the STAUB pipeline; conclusive only on a *verified* model."""
+
+    __slots__ = ("strategy", "name")
+
+    def __init__(self, strategy="staub"):
+        self.strategy = strategy
+        self.name = f"staub/{strategy}"
+
+    def attempt(self, script, budget):
+        report = self._make_staub().run(script, budget=budget)
+        status = "sat" if report.usable else "unknown"
+        return Attempt(self.name, status, report.usable, report.total_work, payload=report)
+
+    def _make_staub(self):
+        if self.strategy == "staub":
+            return Staub()
+        if isinstance(self.strategy, int):
+            return Staub(width_strategy=self.strategy)
+        if isinstance(self.strategy, str) and self.strategy.startswith("fixed"):
+            return Staub(width_strategy=int(self.strategy[len("fixed"):]))
+        raise ValueError(f"unknown width strategy {self.strategy!r}")
+
+    def __repr__(self):
+        return f"ArbitrageTask({self.strategy})"
+
+
+def default_tasks(profiles=("zorro", "corvus"), strategies=("staub",)):
+    """The standard lane set: every profile's baseline plus STAUB lanes."""
+    lanes = [BaselineTask(profile) for profile in profiles]
+    lanes.extend(ArbitrageTask(strategy) for strategy in strategies)
+    return lanes

@@ -260,6 +260,12 @@ def RealDiv(numerator, denominator):
     _require(
         numerator.sort is REAL and denominator.sort is REAL, "/: expected Real operands"
     )
+    # Literal normalization, like Neg: the printer spells a non-integer
+    # rational constant as (/ n d), so folding constant division keeps
+    # parse(print(t)) an identity. Division by the zero literal stays
+    # symbolic (SMT-LIB leaves it to the solver's total semantics).
+    if numerator.is_const and denominator.is_const and denominator.value != 0:
+        return RealConst(Fraction(numerator.value, denominator.value))
     return Term(Op.RDIV, (numerator, denominator), None, REAL)
 
 

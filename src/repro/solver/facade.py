@@ -8,10 +8,19 @@ theory engine, and reports results on the unified virtual clock
 Both paths populate the same uniform ``stats`` dict on the result (see
 :mod:`repro.telemetry.stats`); the historical engine-specific ``detail``
 dict survives as a deprecated alias of ``stats``.
+
+When a :class:`~repro.cache.SolveCache` is active (installed via
+:func:`repro.cache.set_cache` or passed explicitly), solves are keyed by
+the canonical form of the normalized script plus the (profile, budget)
+parameters, and repeated identical questions are answered from the cache
+with ``result.cached`` set.
 """
 
+from repro import cache as solve_cache
 from repro import telemetry
 from repro.bv.solver import solve_bounded_script
+from repro.cache.keys import cache_key
+from repro.cache.store import entry_from_result, result_from_entry
 from repro.errors import UnsupportedLogicError
 from repro.solver import costs
 from repro.solver.dpllt import solve_with_theory
@@ -24,7 +33,7 @@ def _bounded_logic(script):
     return all(sort.is_bounded for sort in script.declarations.values())
 
 
-def solve_script(script, budget=None, profile="zorro"):
+def solve_script(script, budget=None, profile="zorro", cache=None):
     """Solve a script under a profile with a unified work budget.
 
     Args:
@@ -33,6 +42,8 @@ def solve_script(script, budget=None, profile="zorro"):
         budget: unified work budget (None = unlimited). Exhaustion yields
             status ``"unknown"`` -- the reproduction's timeout.
         profile: profile name or :class:`SolverProfile`.
+        cache: a :class:`~repro.cache.SolveCache` overriding the
+            process-wide active cache (None = use the active one, if any).
 
     Returns:
         A :class:`~repro.solver.result.SolveResult` whose ``work`` is in
@@ -41,6 +52,27 @@ def solve_script(script, budget=None, profile="zorro"):
     if isinstance(profile, str):
         profile = get_profile(profile)
 
+    store = cache if cache is not None else solve_cache.get_cache()
+    key = None
+    if store is not None:
+        key = cache_key(script, profile=profile.name, budget=budget)
+        with telemetry.span("cache-lookup", profile=profile.name) as span:
+            entry = store.get(key)
+            span.set_attr("hit", entry is not None)
+        if entry is not None:
+            return result_from_entry(entry)
+
+    result = _solve_uncached(script, budget, profile)
+    if store is not None:
+        try:
+            store.put(key, entry_from_result(result))
+        except TypeError:
+            pass  # model value with no JSON encoding: don't cache it
+    return result
+
+
+def _solve_uncached(script, budget, profile):
+    """The engine-dispatch core of :func:`solve_script` (cache miss path)."""
     if _bounded_logic(script):
         if any(sort.is_fp for sort in script.declarations.values()):
             raise UnsupportedLogicError(

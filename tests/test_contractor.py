@@ -253,6 +253,22 @@ class TestBackwardRules:
         assert interval.contains(Fraction(7))
         assert interval.lo is not None and interval.hi is not None
 
+    def test_backward_product_zero_factor_is_unconstrained(self):
+        # Regression: (x - 2) * (x - 1) = 0 on x in [15/8, 17/8]. Once the
+        # first factor narrows to {0}, the inverse-multiplication rule for
+        # the second factor must NOT use total-division semantics (0/0 = 0)
+        # -- the factor is unconstrained, and x = 2 must survive.
+        x = build.RealVar("x")
+        product = build.Mul(
+            build.Sub(x, build.RealConst(2)), build.Sub(x, build.RealConst(1))
+        )
+        atoms, _ = literals_to_atoms([build.Eq(product, build.RealConst(0))])
+        contracted = Contractor(atoms).contract(
+            Box({"x": Interval(Fraction(15, 8), Fraction(17, 8))})
+        )
+        assert contracted is not None
+        assert contracted.get("x").contains(Fraction(2))
+
     def test_forward_mod_range(self):
         x = build.IntVar("x")
         y = build.IntVar("y")

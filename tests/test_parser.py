@@ -88,7 +88,14 @@ class TestTerms:
 
     def test_rational_via_division(self):
         term = parse_term("(/ 9.0 4.0)")
-        # Structural division of literals; evaluator reduces it.
+        # Constant division folds to the rational literal it spells, so
+        # the printer's (/ n d) form for non-integer rationals round-trips
+        # to the identical hash-consed constant.
+        assert term.is_const
+        assert term.value == Fraction(9, 4)
+
+    def test_division_by_zero_literal_stays_symbolic(self):
+        term = parse_term("(/ 9.0 0.0)")
         assert term.op is Op.RDIV
 
     def test_bv_literals(self):

@@ -1,0 +1,128 @@
+"""Printer/cache-key properties over realistic and generated scripts.
+
+Two families of invariants back the solve cache:
+
+- *round trip*: ``parse(print(script))`` reproduces the exact hash-consed
+  assertion terms for every generated benchmark in every logic, so the
+  printed form is a faithful serialization;
+- *canonical stability*: the cache key's canonical text is a fixpoint
+  under re-printing and is invariant under assertion order, commutative
+  argument order, and duplicated assertions -- the properties that let
+  structurally equivalent scripts share one cache entry.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import suite_for
+from repro.cache import cache_key, canonical_text
+from repro.smtlib import build, parse_script, print_script
+from repro.smtlib.script import Script
+
+LOGICS = ("QF_LIA", "QF_NIA", "QF_LRA", "QF_NRA")
+
+
+def _benchgen_scripts():
+    sample = []
+    for logic in LOGICS:
+        suite = suite_for(logic, seed=7, scale=0.25)
+        sample.extend((logic, bench) for bench in suite.benchmarks)
+    return sample
+
+
+BENCH_SCRIPTS = _benchgen_scripts()
+BENCH_IDS = [f"{logic}:{bench.name}" for logic, bench in BENCH_SCRIPTS]
+
+
+@pytest.mark.parametrize(("logic", "bench"), BENCH_SCRIPTS, ids=BENCH_IDS)
+class TestBenchgenRoundTrip:
+    def test_parse_print_is_structural_identity(self, logic, bench):
+        reparsed = parse_script(print_script(bench.script))
+        # Terms are hash-consed, so identity (not just equality) holds.
+        for original, back in zip(bench.script.assertions, reparsed.assertions):
+            assert back is original
+        assert reparsed.declarations == bench.script.declarations
+        assert reparsed.logic == bench.script.logic
+
+    def test_canonical_text_is_reprint_fixpoint(self, logic, bench):
+        text = canonical_text(bench.script)
+        assert canonical_text(parse_script(text)) == text
+
+    def test_cache_key_survives_reprinting(self, logic, bench):
+        reparsed = parse_script(print_script(bench.script))
+        assert cache_key(bench.script, profile="zorro") == cache_key(
+            reparsed, profile="zorro"
+        )
+
+    def test_cache_key_ignores_assertion_order(self, logic, bench):
+        if len(bench.script.assertions) < 2:
+            pytest.skip("single-assertion script has no order to permute")
+        shuffled = list(bench.script.assertions)
+        random.Random(5).shuffle(shuffled)
+        permuted = Script(
+            assertions=tuple(shuffled),
+            declarations=bench.script.declarations,
+            logic=bench.script.logic,
+        )
+        assert cache_key(bench.script) == cache_key(permuted)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: generated scripts obey the same invariants
+# ---------------------------------------------------------------------------
+
+
+def _int_terms():
+    leaves = st.one_of(
+        st.integers(-50, 50).map(build.IntConst),
+        st.sampled_from(["x", "y", "z"]).map(build.IntVar),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: build.Add(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: build.Mul(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: build.Sub(p[0], p[1])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def _assertions():
+    pair = st.tuples(_int_terms(), _int_terms())
+    atom = st.one_of(
+        pair.map(lambda p: build.Lt(p[0], p[1])),
+        pair.map(lambda p: build.Eq(p[0], p[1])),
+        pair.map(lambda p: build.And(build.Le(p[0], p[1]), build.Le(p[1], p[0]))),
+    )
+    return st.lists(atom, min_size=1, max_size=4)
+
+
+class TestGeneratedScripts:
+    @given(_assertions())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_and_canonical_fixpoint(self, assertions):
+        script = Script.from_assertions(assertions, logic="QF_NIA")
+        reparsed = parse_script(print_script(script))
+        for original, back in zip(script.assertions, reparsed.assertions):
+            assert back is original
+        text = canonical_text(script)
+        assert canonical_text(parse_script(text)) == text
+
+    @given(_assertions(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_key_is_permutation_invariant(self, assertions, rng):
+        script = Script.from_assertions(assertions, logic="QF_NIA")
+        shuffled = list(assertions)
+        rng.shuffle(shuffled)
+        permuted = Script.from_assertions(shuffled, logic="QF_NIA")
+        assert cache_key(script) == cache_key(permuted)
+
+    @given(_int_terms(), _int_terms())
+    @settings(max_examples=60, deadline=None)
+    def test_key_ignores_commutative_argument_order(self, a, b):
+        left = Script.from_assertions([build.Eq(build.Add(a, b), build.IntConst(1))])
+        right = Script.from_assertions([build.Eq(build.IntConst(1), build.Add(b, a))])
+        assert cache_key(left) == cache_key(right)

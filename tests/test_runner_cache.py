@@ -1,0 +1,126 @@
+"""Regression: a warm persistent cache means zero fresh solves.
+
+The in-process ``ExperimentCache`` memoization only ever covered one
+runner instance; these tests pin the persistent-cache behaviour that a
+*second* runner (or a second ``run_all`` invocation) performs no fresh
+baseline or arbitrage solves at all -- every answer is served from the
+:class:`~repro.cache.SolveCache` and counted as ``eval.cache_hit``.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cache import SolveCache
+from repro.evaluation import run_all
+from repro.evaluation.runner import ExperimentCache
+from repro.telemetry.metrics import MetricsRegistry
+
+SEED = 11
+SCALE = 0.1
+TIMEOUT = 200_000
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    telemetry.disable()
+    telemetry.get_registry().reset()
+    yield
+    telemetry.disable()
+    telemetry.get_registry().reset()
+
+
+def _counters(registry, prefix):
+    return {k: v for k, v in registry.snapshot().items() if k.startswith(prefix)}
+
+
+def _drive(cache, logic="QF_LIA"):
+    """Touch a small baseline + arbitrage grid the way the tables do."""
+    rows = []
+    for benchmark in cache.suite(logic).benchmarks[:4]:
+        rows.append(cache.row(logic, benchmark.name, "zorro", "staub"))
+        rows.append(cache.row(logic, benchmark.name, "corvus", "fixed8"))
+    return rows
+
+
+class TestRunnerPersistentCache:
+    def test_second_runner_performs_zero_fresh_solves(self, tmp_path):
+        path = tmp_path / "cache.json"
+
+        store = SolveCache(path=path)
+        registry = MetricsRegistry()
+        telemetry.enable(registry=registry)
+        cold = _drive(ExperimentCache(SEED, SCALE, TIMEOUT, solve_cache=store))
+        telemetry.disable()
+        assert _counters(registry, "eval.baseline_runs"), "cold run must solve"
+        assert _counters(registry, "eval.arbitrage_runs")
+        store.save()
+
+        registry = MetricsRegistry()
+        telemetry.enable(registry=registry)
+        warm = _drive(
+            ExperimentCache(SEED, SCALE, TIMEOUT, solve_cache=SolveCache(path=path))
+        )
+        telemetry.disable()
+        assert not _counters(registry, "eval.baseline_runs")
+        assert not _counters(registry, "eval.arbitrage_runs")
+        hits = _counters(registry, "eval.cache_hit")
+        assert any("kind=baseline" in key for key in hits)
+        assert any("kind=arbitrage" in key for key in hits)
+        assert warm == cold
+
+    def test_no_store_still_solves_fresh_each_time(self):
+        for _ in range(2):
+            registry = MetricsRegistry()
+            telemetry.enable(registry=registry)
+            _drive(ExperimentCache(SEED, SCALE, TIMEOUT))
+            telemetry.disable()
+            assert _counters(registry, "eval.baseline_runs")
+
+
+class TestRunAllWarmCache:
+    def _invoke(self, tmp_path, run_index):
+        telemetry_path = tmp_path / f"telemetry-{run_index}.json"
+        argv = [
+            "--experiment",
+            "table2",
+            "--scale",
+            str(SCALE),
+            "--timeout",
+            str(TIMEOUT),
+            "--cache",
+            str(tmp_path / "cache.json"),
+            "--telemetry",
+            str(telemetry_path),
+        ]
+        assert run_all.main(argv) == 0
+        with open(telemetry_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def test_second_run_all_is_fully_cached(self, tmp_path, capsys):
+        cold = self._invoke(tmp_path, 0)
+        warm = self._invoke(tmp_path, 1)
+        capsys.readouterr()  # drop the rendered tables
+
+        cold_fresh = {
+            k: v for k, v in cold["metrics"].items()
+            if k.startswith(("eval.baseline_runs", "eval.arbitrage_runs"))
+        }
+        warm_fresh = {
+            k: v for k, v in warm["metrics"].items()
+            if k.startswith(("eval.baseline_runs", "eval.arbitrage_runs"))
+        }
+        assert cold_fresh, "cold run must perform fresh solves"
+        assert warm_fresh == {}, f"warm run re-solved: {sorted(warm_fresh)}"
+        assert any(
+            k.startswith("eval.cache_hit") for k in warm["metrics"]
+        )
+        # The rendered cell summary (statuses, work, cases) is unchanged,
+        # while the warm experiment span performs no solver work at all.
+        assert warm["cells"] == cold["cells"]
+        assert [e["experiment"] for e in warm["experiments"]] == [
+            e["experiment"] for e in cold["experiments"]
+        ]
+        assert cold["experiments"][0]["work"] > 0
+        assert warm["experiments"][0]["work"] == 0
