@@ -15,7 +15,7 @@ tests assert.
 
 from fractions import Fraction
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.arith.interval import EMPTY, Interval
 from repro.errors import SolverError
 from repro.smtlib.sorts import INT
@@ -417,7 +417,12 @@ class Contractor:
         if telemetry.enabled:
             telemetry.counter_add("solver.contractions", engine="icp")
         box = box.copy()
+        governor = guard.active()
         for _ in range(max_passes):
+            if governor.interrupted("contractor"):
+                # Best-effort: the passes already run keep the box sound
+                # (contraction only narrows), so returning early is safe.
+                break
             before = dict(box.intervals)
             for atom in self.atoms:
                 if not self._revise(atom, box):

@@ -9,6 +9,7 @@ enormous -- the paper's Table 1 point that the theoretical solution bound
 
 from fractions import Fraction
 
+from repro import guard
 from repro.arith.contractor import GE, GT, LE, LT, EQ, NE, literals_to_atoms
 from repro.arith.linear import linearize
 from repro.arith.nia import ArithResult
@@ -176,13 +177,21 @@ class LiaSolver:
             return ArithResult("unsat", None, self.work + len(self.base_atoms))
         stack = [()]  # each entry: tuple of (name, relation, bound) branches
         depth_capped = False
+        governor = guard.active()
+        max_depth = governor.max_depth if governor.max_depth is not None else MAX_BRANCH_DEPTH
         try:
             while stack:
                 if budget is not None and self.work > budget:
                     return ArithResult("unknown", None, self.work)
+                if governor.interrupted("lia"):
+                    return ArithResult("unknown", None, self.work)
+                if not governor.memory_ok(len(stack), "lia"):
+                    return ArithResult("unknown", None, self.work)
                 extra = stack.pop()
-                if len(extra) > MAX_BRANCH_DEPTH:
+                if len(extra) > max_depth:
                     depth_capped = True
+                    if governor.max_depth is not None:
+                        governor.note_give_up("lia", "depth")
                     continue
                 model = self._relaxation(extra, budget)
                 if model is None:

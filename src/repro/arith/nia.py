@@ -17,9 +17,10 @@ unbounded-theory solvers, and the reason theory arbitrage has room to win.
 
 from fractions import Fraction
 
+from repro import guard, telemetry
 from repro.arith.contractor import Box, Contractor, literals_to_atoms
 from repro.arith.interval import Interval
-from repro.errors import SolverError, UnsupportedLogicError
+from repro.errors import ReproError, SolverError, UnsupportedLogicError
 from repro.smtlib.evaluator import evaluate
 from repro.smtlib.sorts import INT
 
@@ -88,7 +89,10 @@ class NiaSolver:
         self.work += sum(literal.size() for literal in self.literals)
         try:
             return all(evaluate(literal, assignment) for literal in self.literals)
-        except Exception as error:  # pragma: no cover - defensive
+        except ReproError as error:
+            # Taxonomy errors (e.g. an unevaluable operator) become a
+            # structured solver failure; genuine bugs propagate raw.
+            telemetry.counter_add("solver.internal_error", engine="nia")
             raise SolverError(f"point evaluation failed: {error}") from error
 
     def _enumerate(self, box):
@@ -124,9 +128,13 @@ class NiaSolver:
         the budget ran out.
         """
         contractor = self._new_contractor()
+        governor = guard.active()
         stack = [initial_box]
         while stack:
             if budget is not None and self.work + contractor.work > budget:
+                self.work += contractor.work
+                return "unknown", None
+            if governor.interrupted("nia") or not governor.memory_ok(len(stack), "nia"):
                 self.work += contractor.work
                 return "unknown", None
             box = stack.pop()

@@ -14,6 +14,7 @@ that theory arbitrage then renders tractable).
 
 import itertools
 
+from repro import guard
 from repro.arith.contractor import Box, Contractor, literals_to_atoms
 from repro.arith.interval import Interval
 from repro.arith.nia import ArithResult
@@ -86,6 +87,7 @@ class NiaEnumSolver:
             return ArithResult("unsat", None, self.work)
 
         bounded = all(contracted.get(name).is_bounded for name in self._names)
+        governor = guard.active()
         radius = 0
         while True:
             in_range = False
@@ -102,7 +104,11 @@ class NiaEnumSolver:
                     return ArithResult("sat", point, self.work)
                 if budget is not None and self.work > budget:
                     return ArithResult("unknown", None, self.work)
+                if governor.interrupted("nia-enum"):
+                    return ArithResult("unknown", None, self.work)
             if budget is not None and self.work > budget:
+                return ArithResult("unknown", None, self.work)
+            if governor.interrupted("nia-enum"):
                 return ArithResult("unknown", None, self.work)
             if bounded and not in_range and radius > self._max_radius(contracted):
                 # The whole contracted box has been enumerated.

@@ -11,6 +11,7 @@ which is the behaviour the paper's QF_NRA rows reflect.
 
 from fractions import Fraction
 
+from repro import guard
 from repro.arith.contractor import Box, Contractor, literals_to_atoms
 from repro.arith.interval import Interval
 from repro.arith.nia import ArithResult
@@ -137,10 +138,14 @@ class NraSolver:
 
     def _search_box(self, initial_box, budget):
         contractor = self._new_contractor()
+        governor = guard.active()
         stack = [initial_box]
         gave_up = False
         while stack:
             if budget is not None and self.work + contractor.work > budget:
+                self.work += contractor.work
+                return "unknown", None
+            if governor.interrupted("nra") or not governor.memory_ok(len(stack), "nra"):
                 self.work += contractor.work
                 return "unknown", None
             box = stack.pop()

@@ -13,7 +13,7 @@ used by the evaluation harness as its virtual clock.
 
 from fractions import Fraction
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.errors import BudgetExceeded
 
 
@@ -271,7 +271,9 @@ class Simplex:
         self._pivot(leaving, entering)
         self.pivots += 1
         if self.work_budget is not None and self.pivots > self.work_budget:
-            raise BudgetExceeded(self.pivots, self.work_budget)
+            raise BudgetExceeded(self.pivots, self.work_budget, layer="simplex")
+        if guard.active().interrupted("simplex"):
+            raise BudgetExceeded(self.pivots, self.work_budget, layer="simplex")
 
     def check(self):
         """Restore feasibility. True if a model exists, False otherwise.

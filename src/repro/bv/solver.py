@@ -6,10 +6,10 @@ core. Statistics and the deterministic work counter flow back out so the
 evaluation harness can measure T_post reproducibly.
 """
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.bv.bitblast import BitBlaster
 from repro.errors import UnsupportedLogicError
-from repro.sat.solver import SAT, SatSolver
+from repro.sat.solver import SAT, SatSolver, SatStats
 from repro.telemetry.stats import unified_stats
 
 
@@ -69,6 +69,11 @@ def solve_bounded_script(script, max_work=None, max_conflicts=None):
             raise UnsupportedLogicError(
                 f"bounded solver cannot handle variable {name} of sort {sort}"
             )
+
+    if guard.active().interrupted("bv"):
+        # The envelope is already exhausted (deadline/cancellation):
+        # don't even pay for blasting.
+        return BoundedResult("unknown", None, 0, SatStats(), 0, 0)
 
     blaster = BitBlaster()
     with telemetry.span("blast") as blast_span:

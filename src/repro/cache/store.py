@@ -10,20 +10,37 @@ Hit/miss/eviction counts feed the :mod:`repro.telemetry` registry
 (``cache.hit`` / ``cache.miss`` / ``cache.eviction``) and are also kept
 on the store itself so the CLI can report them without telemetry. The
 persistent file carries lifetime totals across sessions.
+
+Persistence is crash-safe: files are written to a temp sibling and
+atomically renamed into place, every entry carries a content checksum,
+and a file (or entry) that fails to load is quarantined -- moved aside
+to ``<path>.corrupt`` (or dropped) with a ``cache.quarantined`` counter
+-- rather than aborting the run.
 """
 
+import hashlib
 import json
 import os
 from collections import OrderedDict
 from fractions import Fraction
 
 from repro import telemetry
+from repro.errors import CacheError
+from repro.guard import chaos
 from repro.smtlib.values import BVValue
 
 #: Default in-memory entry bound; old entries are evicted LRU-first.
 DEFAULT_MAX_ENTRIES = 4096
 
-_FORMAT_VERSION = 1
+#: Version 2 adds per-entry checksums; version-1 files still load.
+_FORMAT_VERSION = 2
+_ACCEPTED_VERSIONS = (1, 2)
+
+
+def _entry_checksum(entry):
+    """Short content checksum for one cache entry dict."""
+    canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 # -- model value encoding ---------------------------------------------------
@@ -113,9 +130,13 @@ class SolveCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
         self._lifetime = {"hits": 0, "misses": 0, "evictions": 0}
         if self.path is not None and os.path.exists(self.path):
-            self._load()
+            try:
+                self._load()
+            except (OSError, ValueError, KeyError, TypeError, CacheError):
+                self._quarantine_file()
 
     def __len__(self):
         return len(self._entries)
@@ -154,6 +175,7 @@ class SolveCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "lifetime_hits": self._lifetime["hits"] + self.hits,
             "lifetime_misses": self._lifetime["misses"] + self.misses,
             "lifetime_evictions": self._lifetime["evictions"] + self.evictions,
@@ -161,26 +183,65 @@ class SolveCache:
 
     # -- persistence -------------------------------------------------------
 
+    def _quarantine_file(self):
+        """Move an unreadable cache file aside and start empty."""
+        self._entries.clear()
+        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0}
+        quarantine = f"{self.path}.corrupt"
+        try:
+            os.replace(self.path, quarantine)
+        except OSError:
+            pass  # e.g. vanished between the failed read and now
+        self.quarantined += 1
+        telemetry.counter_add("cache.quarantined", reason="file")
+
     def _load(self):
         with open(self.path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        if payload.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"cache file {self.path} has unsupported version "
-                f"{payload.get('version')!r}"
+            text = handle.read()
+        fault = chaos.inject("cache.load", salt=self.path)
+        if fault is not None:
+            text = fault.garble(text)
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version not in _ACCEPTED_VERSIONS:
+            raise CacheError(
+                f"cache file {self.path} has unsupported version {version!r}"
             )
-        for key, entry in payload.get("entries", {}).items():
-            self._entries[key] = entry
+        entries = payload.get("entries", {})
+        if version >= 2:
+            # Version 2 writes a checksum for every entry: an entry whose
+            # checksum is missing or wrong is bit-rot (or a torn
+            # concurrent writer) -- drop it, keep the rest of the file.
+            checksums = payload.get("checksums") or {}
+            for key, entry in entries.items():
+                if _entry_checksum(entry) != checksums.get(key):
+                    self.quarantined += 1
+                    telemetry.counter_add("cache.quarantined", reason="checksum")
+                    continue
+                self._entries[key] = entry
+            # An orphaned checksum means the entry key itself was garbled.
+            for key in checksums:
+                if key not in entries:
+                    self.quarantined += 1
+                    telemetry.counter_add("cache.quarantined", reason="checksum")
+        else:
+            self._entries.update(entries)
         stored = payload.get("stats", {})
         for field in self._lifetime:
             self._lifetime[field] = int(stored.get(field, 0))
 
     def save(self, path=None):
-        """Write all entries (and lifetime stats) to the backing file."""
+        """Atomically write all entries (and lifetime stats) to the file.
+
+        The payload lands in a temp sibling first and is renamed over the
+        target with :func:`os.replace`, so a crash mid-write can never
+        leave a truncated cache behind.
+        """
         target = path if path is not None else self.path
         if target is None:
             raise ValueError("SolveCache has no path to save to")
         stats = self.stats()
+        entries = dict(self._entries)
         payload = {
             "version": _FORMAT_VERSION,
             "stats": {
@@ -188,9 +249,23 @@ class SolveCache:
                 "misses": stats["lifetime_misses"],
                 "evictions": stats["lifetime_evictions"],
             },
-            "entries": dict(self._entries),
+            "entries": entries,
+            "checksums": {
+                key: _entry_checksum(entry) for key, entry in entries.items()
+            },
         }
-        with open(target, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        fault = chaos.inject("cache.persist", salt=str(target))
+        if fault is not None:
+            text = fault.garble(text)
+        temp = f"{target}.tmp.{os.getpid()}"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, target)
+        finally:
+            if os.path.exists(temp):
+                os.remove(temp)
         return target

@@ -26,10 +26,12 @@ clock; ``--stats`` prints the uniform solver counters after the result.
 """
 
 import argparse
+import os
 import sys
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.cache import SolveCache
+from repro.guard import chaos
 from repro.core.inference import infer_bounds
 from repro.core.pipeline import Staub
 from repro.errors import ReproError
@@ -74,7 +76,13 @@ def _print_stats(stats):
 def _cmd_solve(args):
     script = _read_script(args.file)
     cache = SolveCache(path=args.cache) if args.cache else None
-    result = solve_script(script, budget=args.budget, profile=args.profile, cache=cache)
+    governor = None
+    if args.deadline is not None:
+        governor = guard.ResourceBudget(work=args.budget, deadline=args.deadline)
+    result = solve_script(
+        script, budget=args.budget, profile=args.profile, cache=cache,
+        governor=governor,
+    )
     print(result.status)
     print(f"; engine={result.engine} work={result.work} "
           f"(~{to_virtual_seconds(result.work):.2f} virtual seconds)"
@@ -198,6 +206,16 @@ def _cmd_reduce(args):
     return 0
 
 
+def _add_chaos_flag(subparser):
+    subparser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SEED:RATE",
+        help="deterministic fault injection (e.g. 1234:0.1); verdicts are "
+        "unchanged, only timings and lane winners may differ",
+    )
+
+
 def _add_telemetry_flags(subparser):
     subparser.add_argument(
         "--trace",
@@ -238,6 +256,15 @@ def build_parser():
         help="persistent solve cache; repeated solves of equivalent "
         "scripts are answered without running an engine",
     )
+    solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; exhaustion degrades to a structured "
+        "unknown (deadline runs trade determinism for punctuality)",
+    )
+    _add_chaos_flag(solve)
     _add_telemetry_flags(solve)
     solve.set_defaults(func=_cmd_solve)
 
@@ -260,6 +287,7 @@ def build_parser():
         default=4096,
         help="first-round work slice for the deterministic scheduler",
     )
+    _add_chaos_flag(portfolio)
     _add_telemetry_flags(portfolio)
     portfolio.set_defaults(func=_cmd_portfolio)
 
@@ -276,6 +304,7 @@ def build_parser():
     arbitrage.add_argument("file")
     arbitrage.add_argument("--width", type=int, default=None)
     arbitrage.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    _add_chaos_flag(arbitrage)
     _add_telemetry_flags(arbitrage)
     arbitrage.set_defaults(func=_cmd_arbitrage)
 
@@ -311,6 +340,15 @@ def main(argv=None):
         parser.print_usage(sys.stderr)
         print("staub: error: a subcommand is required", file=sys.stderr)
         return 2
+    chaos_spec = getattr(args, "chaos", None)
+    if chaos_spec:
+        try:
+            chaos.install(chaos.parse_spec(chaos_spec))
+        except ValueError as error:
+            print(f"staub: error: {error}", file=sys.stderr)
+            return 2
+        # --jobs workers pick the plan up from the environment.
+        os.environ[chaos.ENV_VAR] = chaos_spec
     wants_telemetry = getattr(args, "trace", None) or getattr(args, "stats", False)
     try:
         if wants_telemetry:

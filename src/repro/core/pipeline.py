@@ -13,7 +13,7 @@ and ``T_pre`` otherwise -- two cores racing, never slower than the
 original (Section 5.1).
 """
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.bv.solver import solve_bounded_script
 from repro.core.correspondence import FixedPointShape
 from repro.portfolio.scheduler import PrecomputedAttempt, race_precomputed
@@ -208,6 +208,20 @@ class Staub:
                 extra = TRANSLATE_COST_PER_NODE * transformed.script.size()
                 t_trans += extra
                 span.add_work(extra)
+
+        if guard.active().interrupted("pipeline"):
+            # The envelope died during transformation: degrade without
+            # starting the bounded solve.
+            return self._finish(
+                ArbitrageReport(
+                    CASE_BOUNDED_UNKNOWN,
+                    t_trans=t_trans,
+                    width=transformed.width,
+                    shape=transformed.shape,
+                    inference=inference,
+                    bounded_status="unknown",
+                )
+            )
 
         remaining = None if budget is None else max(1, budget - t_trans)
         with telemetry.span("bounded-solve", width=transformed.width) as span:

@@ -53,9 +53,26 @@ class TransformError(ReproError):
 
 
 class BudgetExceeded(SolverError):
-    """A solver exhausted its deterministic work budget (a timeout)."""
+    """A solver exhausted its deterministic work budget (a timeout).
 
-    def __init__(self, spent, budget):
-        super().__init__(f"budget exceeded: spent {spent} of {budget} work units")
+    Attributes:
+        spent: work units actually spent.
+        budget: the limit that was exceeded (None = no numeric limit; the
+            governor tripped on a deadline or cancellation instead).
+        layer: the stack layer that ran out (``"simplex"``, ``"sat"``,
+            ...), when known.
+    """
+
+    def __init__(self, spent, budget, layer=None):
+        limit = "unlimited" if budget is None else budget
+        message = f"budget exceeded: spent {spent} of {limit} work units"
+        if layer:
+            message += f" in {layer}"
+        super().__init__(message)
         self.spent = spent
         self.budget = budget
+        self.layer = layer
+
+
+class CacheError(ReproError):
+    """The persistent solve cache was unusable (corrupt or unwritable)."""

@@ -18,9 +18,12 @@ every solve, so a second invocation performs zero fresh solves (watch
 
 import argparse
 import json
+import os
 import sys
 
 from repro import telemetry
+from repro.guard import chaos
+from repro.guard.chaos import ChaosCrash
 from repro.cache import SolveCache
 from repro.cache.keys import cache_key
 from repro.cache.store import entry_from_result
@@ -99,6 +102,11 @@ def _solve_cell(payload):
     its store without re-solving.
     """
     kind, logic, config, slot, seed, scale, timeout = payload
+    plan = chaos.active()
+    chaos_baseline = dict(plan.injected) if plan is not None else {}
+    # A crash here propagates through the pool; the parent drops the cell
+    # (it is recomputed serially on demand) and counts the fault.
+    chaos.inject("portfolio.worker_spawn", salt=f"{kind}/{logic}/{config}")
     cache = ExperimentCache(seed=seed, scale=scale, timeout=timeout)
     records = {}
     entries = {}
@@ -126,7 +134,8 @@ def _solve_cell(payload):
                 extra={"strategy": config, "slot": slot},
             )
             entries[key] = record.to_entry()
-    return (kind, logic, config, slot, records, entries)
+    deltas = plan.injected_deltas(chaos_baseline) if plan is not None else {}
+    return (kind, logic, config, slot, records, entries, deltas)
 
 
 def _cell_is_warm(cache, store, kind, logic, config, slot):
@@ -173,9 +182,27 @@ def _precompute_parallel(cache, jobs, store=None):
         return
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    results = []
     with context.Pool(processes=jobs) as pool:
-        results = pool.map(_solve_cell, payloads)
-    for kind, logic, config, slot, records, entries in results:
+        handles = [
+            (payload, pool.apply_async(_solve_cell, (payload,)))
+            for payload in payloads
+        ]
+        for payload, handle in handles:
+            try:
+                results.append(handle.get())
+            except ChaosCrash:
+                # The worker died mid-cell: drop it (the serial rendering
+                # pass recomputes it on demand, so verdicts are unchanged)
+                # and make the fault visible in the artifact.
+                kind, logic, config = payload[0], payload[1], payload[2]
+                telemetry.counter_add(
+                    "eval.cell_crashed", kind=kind, logic=logic, config=config
+                )
+                telemetry.counter_add(
+                    "chaos.injected", point="portfolio.worker_spawn", kind="crash"
+                )
+    for kind, logic, config, slot, records, entries, chaos_deltas in results:
         if kind == "baseline":
             for name in sorted(records):
                 status, work, timed_out = records[name]
@@ -200,6 +227,9 @@ def _precompute_parallel(cache, jobs, store=None):
                 telemetry.counter_add("eval.arbitrage_case", case=record.case, **labels)
                 if record.usable:
                     telemetry.counter_add("eval.arbitrage_verified", **labels)
+        for delta_key, count in chaos_deltas.items():
+            point, _, fault_kind = delta_key.partition("|")
+            telemetry.counter_add("chaos.injected", count, point=point, kind=fault_kind)
         if store is not None:
             for key in sorted(entries):
                 if key not in store:
@@ -243,7 +273,22 @@ def main(argv=None):
     parser.add_argument(
         "--trace", default=None, help="also write a JSONL span trace"
     )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SEED:RATE",
+        help="deterministic fault injection (e.g. 1234:0.1); verdicts are "
+        "unchanged, only timings / lane winners / cache warmth may differ",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        try:
+            chaos.install(chaos.parse_spec(args.chaos))
+        except ValueError as error:
+            parser.error(str(error))
+        # Spawned workers pick the plan up from the environment.
+        os.environ[chaos.ENV_VAR] = args.chaos
 
     # The harness runs with telemetry on: per-experiment spans time the
     # runs (wall-clock on stderr for humans, virtual work in the

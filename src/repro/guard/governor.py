@@ -1,0 +1,226 @@
+"""The resource governor: one envelope every solver layer checks.
+
+Before this module each layer enforced its own ad-hoc ``budget`` int.
+Those numeric budgets still exist (their raw-unit conversions are the
+virtual clock and must stay deterministic), but they are now *views* of
+a single :class:`ResourceBudget` installed for the duration of a solve:
+
+- the **work ceiling** is the unified budget the facade translates into
+  per-engine raw units (``repro.solver.costs``);
+- the **wall-clock deadline** and **cooperative cancellation** are
+  checked directly by every layer's hot loop via
+  :meth:`ResourceBudget.interrupted`;
+- **recursion and memory ceilings** bound branch-and-bound depth and
+  open-node counts.
+
+Exhaustion never escapes the facade as an exception: the layer that
+notices calls ``interrupted(layer)`` (or ``note_give_up``), which
+records the *first* layer that gave up plus the reason, bumps the
+``guard.gave_up`` telemetry counter once, and the layer returns a
+structured ``unknown`` upward.
+
+The default active governor is :data:`NULL_GOVERNOR`, which is never
+exhausted and costs one attribute lookup plus one method call per check,
+so governed code paths stay byte-identical to the historical behaviour
+when no limits are set.
+"""
+
+import time
+from contextlib import contextmanager
+
+from repro import telemetry
+
+__all__ = [
+    "Deadline",
+    "NullGovernor",
+    "NULL_GOVERNOR",
+    "ResourceBudget",
+    "activate",
+    "active",
+]
+
+
+class Deadline:
+    """A wall-clock deadline on ``time.monotonic()``.
+
+    Deadlines are the one deliberately non-deterministic limit: they only
+    exist when a caller opts in, so default runs stay reproducible.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, seconds):
+        self.at = time.monotonic() + float(seconds)
+
+    @property
+    def expired(self):
+        return time.monotonic() >= self.at
+
+    def remaining(self):
+        """Seconds left; never negative."""
+        return max(0.0, self.at - time.monotonic())
+
+    def __repr__(self):
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class NullGovernor:
+    """The no-limit governor: every check is a cheap constant ``False``."""
+
+    __slots__ = ()
+
+    work_limit = None
+    deadline = None
+    max_depth = None
+    max_memory = None
+    spent = 0
+    reason = None
+    gave_up_layer = None
+    cancelled = False
+
+    def interrupted(self, layer=None):
+        return False
+
+    def charge(self, units, layer=None):
+        return True
+
+    def memory_ok(self, amount, layer=None):
+        return True
+
+    def note_give_up(self, layer, reason):
+        pass
+
+    def cancel(self):
+        pass
+
+    def remaining_work(self):
+        return None
+
+    def __repr__(self):
+        return "NullGovernor()"
+
+
+#: The process-default governor; never exhausted.
+NULL_GOVERNOR = NullGovernor()
+
+
+class ResourceBudget:
+    """A unified resource envelope for one solve (or one race).
+
+    Args:
+        work: unified work ceiling (None = unlimited). Enforced through
+            the per-engine raw budgets the facade derives from it.
+        deadline: wall-clock limit -- seconds (float/int) or a
+            :class:`Deadline`. None keeps the run deterministic.
+        max_depth: branch-and-bound depth ceiling (None = engine default).
+        max_memory: ceiling on open search nodes / learned structures,
+            checked via :meth:`memory_ok`.
+        parent: an enclosing governor (e.g. a portfolio race deadline);
+            its interruption propagates into this one.
+    """
+
+    __slots__ = (
+        "work_limit",
+        "deadline",
+        "max_depth",
+        "max_memory",
+        "parent",
+        "spent",
+        "cancelled",
+        "reason",
+        "gave_up_layer",
+    )
+
+    def __init__(self, work=None, deadline=None, max_depth=None, max_memory=None, parent=None):
+        self.work_limit = work
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline(deadline)
+        self.deadline = deadline
+        self.max_depth = max_depth
+        self.max_memory = max_memory
+        self.parent = parent
+        self.spent = 0
+        self.cancelled = False
+        self.reason = None
+        self.gave_up_layer = None
+
+    # -- checks ------------------------------------------------------------
+
+    def _exhausted_reason(self):
+        if self.cancelled:
+            return "cancelled"
+        if self.deadline is not None and self.deadline.expired:
+            return "deadline"
+        if self.work_limit is not None and self.spent >= self.work_limit:
+            return "work"
+        return None
+
+    def interrupted(self, layer=None):
+        """True when the layer must stop now; records the first give-up."""
+        reason = self._exhausted_reason()
+        if reason is None:
+            if self.parent is not None and self.parent.interrupted(layer):
+                reason = "parent"
+            else:
+                return False
+        self.note_give_up(layer, reason)
+        return True
+
+    def charge(self, units, layer=None):
+        """Account work against the envelope; False once exhausted."""
+        self.spent += units
+        return not self.interrupted(layer)
+
+    def memory_ok(self, amount, layer=None):
+        """Check a current usage gauge against the memory ceiling."""
+        if self.max_memory is not None and amount > self.max_memory:
+            self.note_give_up(layer, "memory")
+            return False
+        return True
+
+    def note_give_up(self, layer, reason):
+        """Record which layer gave up first and why (telemetry: once)."""
+        if self.gave_up_layer is not None:
+            return
+        self.gave_up_layer = layer or "unknown"
+        self.reason = reason
+        telemetry.counter_add("guard.gave_up", layer=self.gave_up_layer, reason=reason)
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self):
+        """Cooperative cancellation: every layer's next check trips."""
+        self.cancelled = True
+
+    def remaining_work(self):
+        if self.work_limit is None:
+            return None
+        return max(0, self.work_limit - self.spent)
+
+    def __repr__(self):
+        return (
+            f"ResourceBudget(work={self.work_limit}, deadline={self.deadline}, "
+            f"spent={self.spent}, reason={self.reason})"
+        )
+
+
+# -- the active governor ----------------------------------------------------
+
+_active = NULL_GOVERNOR
+
+
+def active():
+    """The governor currently in force (NULL_GOVERNOR by default)."""
+    return _active
+
+
+@contextmanager
+def activate(governor):
+    """Install a governor for the duration of a ``with`` block."""
+    global _active
+    previous = _active
+    _active = governor if governor is not None else NULL_GOVERNOR
+    try:
+        yield _active
+    finally:
+        _active = previous

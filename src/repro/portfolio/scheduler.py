@@ -21,13 +21,21 @@ build its portfolio accounting on top of :func:`race_precomputed`
 without an import cycle.
 """
 
-from repro import telemetry
+from repro import guard, telemetry
+from repro.errors import ReproError
+from repro.guard import chaos
 
 #: First-round per-lane budget for the interleaved scheduler.
 DEFAULT_SLICE = 4096
 
 #: Budget multiplier between rounds.
 DEFAULT_GROWTH = 4
+
+#: Wall seconds before relaunching a crashed parallel lane (doubles per crash).
+CRASH_RETRY_BACKOFF = 0.05
+
+#: How many times a crashed lane is relaunched before being written off.
+CRASH_RETRIES = 1
 
 
 class Attempt:
@@ -165,33 +173,55 @@ class InterleavingScheduler:
         self.growth = growth
 
     def run(self, script):
-        """Race the lanes on one script; returns a :class:`PortfolioOutcome`."""
+        """Race the lanes on one script; returns a :class:`PortfolioOutcome`.
+
+        Degradation semantics: a lane that raises a :class:`ReproError`
+        records an inconclusive ``"error"`` attempt; a lane that crashes
+        (:class:`~repro.guard.chaos.ChaosCrash`) is retried once on the
+        next -- exponentially larger -- slice, then dropped from the race
+        with a ``portfolio.lane_crashed`` counter. Surviving lanes keep
+        racing; the race itself never raises.
+        """
         history = []
         total = 0
         if self.budget is None:
             slice_budget = None  # one unlimited round
         else:
             slice_budget = min(self.initial_slice, self.budget)
+        governor = guard.active()
+        active_tasks = list(self.tasks)
+        crashes = {}
+        winner = None
         with telemetry.span("portfolio", lanes=len(self.tasks)) as span:
-            while True:
+            while active_tasks and not governor.interrupted("portfolio"):
                 attempts = []
-                for task in self.tasks:
-                    attempt = task.attempt(script, slice_budget)
+                retry_pending = False
+                for task in list(active_tasks):
+                    attempt = self._attempt_lane(
+                        task, script, slice_budget, crashes, active_tasks
+                    )
+                    if attempt.status == "crashed" and task in active_tasks:
+                        retry_pending = True
                     attempts.append(attempt)
                     total += attempt.work
                 history.append(attempts)
                 winner = _pick_winner(attempts)
-                exhausted = slice_budget is None or slice_budget >= self.budget
-                if winner is not None or exhausted:
+                if winner is not None:
                     break
-                slice_budget = min(slice_budget * self.growth, self.budget)
+                exhausted = (
+                    slice_budget is None or slice_budget >= self.budget
+                )
+                if exhausted and not retry_pending:
+                    break
+                if slice_budget is not None:
+                    slice_budget = min(slice_budget * self.growth, self.budget)
             observed = sum(
                 max(attempt.work for attempt in round_attempts)
                 for round_attempts in history[:-1]
             )
             if winner is not None:
                 observed += winner.work
-            else:
+            elif history:
                 observed += max(attempt.work for attempt in history[-1])
             span.set_attr("rounds", len(history))
             span.set_attr("winner", winner.lane if winner else None)
@@ -199,6 +229,24 @@ class InterleavingScheduler:
         outcome = PortfolioOutcome(winner, observed, total, len(history), history)
         self._record(outcome)
         return outcome
+
+    @staticmethod
+    def _attempt_lane(task, script, slice_budget, crashes, active_tasks):
+        """One lane, one slice -- errors and crashes degrade to attempts."""
+        try:
+            return task.attempt(script, slice_budget)
+        except chaos.ChaosCrash:
+            count = crashes.get(task.name, 0) + 1
+            crashes[task.name] = count
+            if count > CRASH_RETRIES:
+                active_tasks.remove(task)
+                telemetry.counter_add("portfolio.lane_crashed", lane=task.name)
+            return Attempt(task.name, "crashed", False, 0)
+        except ReproError:
+            telemetry.counter_add(
+                "solver.internal_error", site="portfolio", lane=task.name
+            )
+            return Attempt(task.name, "error", False, 0)
 
     @staticmethod
     def _record(outcome):
@@ -217,9 +265,15 @@ class InterleavingScheduler:
 
 def _race_worker(task, script_text, budget, index, queue):
     """Run one lane in a worker process and report a picklable summary."""
+    import os
+
     from repro.cache.store import encode_model
     from repro.smtlib.parser import parse_script
 
+    try:
+        chaos.inject("portfolio.worker_spawn", salt=str(index))
+    except chaos.ChaosCrash:
+        os._exit(70)  # simulated hard crash: no result, nonzero exit code
     try:
         script = parse_script(script_text)
         attempt = task.attempt(script, budget)
@@ -231,7 +285,9 @@ def _race_worker(task, script_text, budget, index, queue):
         queue.put(
             (index, task.name, attempt.status, attempt.conclusive, attempt.work, encoded)
         )
-    except Exception as error:  # pragma: no cover - worker crash safety net
+    except ReproError as error:
+        # Known solver failures become inconclusive attempts; anything
+        # else kills the worker and is handled as a crash by the parent.
         queue.put((index, task.name, "error", False, 0, repr(error)))
 
 
@@ -243,15 +299,24 @@ def parallel_race(tasks, script, budget=None, jobs=None, wall_timeout=600.0):
         script: the script to solve (shipped to workers as SMT-LIB text).
         budget: per-lane unified work budget.
         jobs: max concurrent worker processes (default: one per lane).
-        wall_timeout: safety net in wall seconds per queue wait.
+        wall_timeout: overall wall-clock deadline in seconds (also bounded
+            by the active governor's deadline, if any).
 
     Returns:
         A :class:`PortfolioOutcome`. ``winner.payload`` is the decoded
         model dict (or None); per-lane work is as reported by the lanes
         that finished before the race was decided.
+
+    Crash recovery: a worker that dies without reporting (segfault,
+    ``os._exit``, injected :class:`~repro.guard.chaos.ChaosCrash`) is
+    relaunched once after an exponential backoff, then written off with a
+    ``portfolio.lane_crashed`` counter and a ``"crashed"`` attempt. On
+    every exit path all children are terminated and joined -- the race
+    never leaks a process.
     """
     import multiprocessing
     import queue as queue_module
+    import time
 
     from repro.cache.store import decode_model
     from repro.smtlib.printer import print_script
@@ -263,13 +328,25 @@ def parallel_race(tasks, script, budget=None, jobs=None, wall_timeout=600.0):
     context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     results_queue = context.Queue()
     text = print_script(script)
-    pending = list(enumerate(tasks))
-    running = {}
-    attempts = []
-    winner = None
     jobs = len(tasks) if jobs is None else max(1, jobs)
 
-    def launch_next():
+    governor = guard.active()
+    deadline = time.monotonic() + wall_timeout
+    if governor.deadline is not None:
+        deadline = min(deadline, governor.deadline.at)
+
+    task_by_index = dict(enumerate(tasks))
+    pending = list(enumerate(tasks))
+    delayed = []  # (ready_at, index, task): crashed lanes awaiting relaunch
+    running = {}
+    crash_counts = {}
+    attempts = []
+    winner = None
+
+    def launch(now):
+        for entry in [entry for entry in delayed if entry[0] <= now]:
+            delayed.remove(entry)
+            pending.append((entry[1], entry[2]))
         while pending and len(running) < jobs:
             index, task = pending.pop(0)
             process = context.Process(
@@ -280,34 +357,79 @@ def parallel_race(tasks, script, budget=None, jobs=None, wall_timeout=600.0):
             process.start()
             running[index] = process
 
+    def handle(message):
+        index, lane, status, conclusive, work, model = message
+        process = running.pop(index, None)
+        if process is not None:
+            process.join(timeout=5)
+        if status == "error":
+            telemetry.counter_add(
+                "solver.internal_error", site="parallel_race", lane=lane
+            )
+            return None
+        payload = None
+        if conclusive and model is not None:
+            payload = _ModelPayload(decode_model(model))
+        attempt = Attempt(lane, status, conclusive, work, payload)
+        attempts.append(attempt)
+        return attempt if conclusive else None
+
+    def reap(index):
+        """A worker died without reporting: retry once, then write off."""
+        process = running.pop(index)
+        process.join(timeout=5)
+        lane = task_by_index[index].name
+        count = crash_counts.get(index, 0) + 1
+        crash_counts[index] = count
+        if count <= CRASH_RETRIES:
+            backoff = CRASH_RETRY_BACKOFF * (2 ** (count - 1))
+            delayed.append((time.monotonic() + backoff, index, task_by_index[index]))
+        else:
+            telemetry.counter_add("portfolio.lane_crashed", lane=lane)
+            attempts.append(Attempt(lane, "crashed", False, 0))
+
     try:
-        launch_next()
-        while running and winner is None:
+        launch(time.monotonic())
+        while winner is None and (running or pending or delayed):
+            now = time.monotonic()
+            if now >= deadline or governor.interrupted("portfolio"):
+                break
+            launch(now)
             try:
-                index, lane, status, conclusive, work, model = results_queue.get(
-                    timeout=wall_timeout
+                message = results_queue.get(
+                    timeout=min(0.1, max(0.01, deadline - now))
                 )
             except queue_module.Empty:
-                break  # safety net: treat as exhausted
-            process = running.pop(index, None)
-            if process is not None:
-                process.join(timeout=5)
-            if status == "error":
+                message = None
+            if message is not None:
+                winner = handle(message)
                 continue
-            payload = None
-            if conclusive and model is not None:
-                payload = _ModelPayload(decode_model(model))
-            attempt = Attempt(lane, status, conclusive, work, payload)
-            attempts.append(attempt)
-            if conclusive:
-                winner = attempt
-                break
-            launch_next()
+            for index in [
+                index
+                for index, process in running.items()
+                if not process.is_alive()
+            ]:
+                # Drain first: the worker may have queued its result just
+                # before exiting; losing it would misreport a crash.
+                try:
+                    leftover = results_queue.get(timeout=0.2)
+                except queue_module.Empty:
+                    leftover = None
+                if leftover is not None:
+                    results_queue.put(leftover)
+                    if leftover[0] == index:
+                        continue  # processed on the next loop iteration
+                reap(index)
     finally:
+        # No zombies: every child is terminated and joined on every path.
         for process in running.values():
             if process.is_alive():
                 process.terminate()
             process.join(timeout=5)
+            if process.is_alive():  # terminate was ignored: last resort
+                process.kill()
+                process.join(timeout=5)
+        results_queue.cancel_join_thread()
 
     total = sum(attempt.work for attempt in attempts)
     if winner is not None:

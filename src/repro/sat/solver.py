@@ -18,7 +18,7 @@ Literals use the DIMACS convention externally (``v`` / ``-v``) and are
 mapped internally to ``2*v`` / ``2*v+1``.
 """
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.errors import SolverError
 
 SAT = "sat"
@@ -525,6 +525,7 @@ class SatSolver:
         restart_index = 0
         conflicts_total = 0
         conflict_limit = luby(restart_index) * 100
+        governor = guard.active()
 
         while True:
             conflict = self._propagate()
@@ -551,6 +552,9 @@ class SatSolver:
                     self._backtrack(0)
                     return UNKNOWN
                 if max_work is not None and self.stats.work() - base_work >= max_work:
+                    self._backtrack(0)
+                    return UNKNOWN
+                if governor.interrupted("sat"):
                     self._backtrack(0)
                     return UNKNOWN
                 if conflicts_total >= conflict_limit:
@@ -586,6 +590,9 @@ class SatSolver:
             self._trail_lim.append(len(self._trail))
             self._enqueue(decision, None)
             if max_work is not None and self.stats.work() - base_work >= max_work:
+                self._backtrack(0)
+                return UNKNOWN
+            if governor.interrupted("sat"):
                 self._backtrack(0)
                 return UNKNOWN
 

@@ -12,7 +12,7 @@ degenerates to a single theory call -- but full boolean structure
 generated "industrial" workloads exercise.
 """
 
-from repro import telemetry
+from repro import guard, telemetry
 from repro.errors import SolverError
 from repro.sat.solver import SAT as SAT_RESULT
 from repro.sat.solver import UNKNOWN as SAT_UNKNOWN
@@ -199,9 +199,12 @@ def solve_with_theory(script, theory_factory, budget=None, max_rounds=2000):
             status, model, theory_work, skeleton.solver.work(), stats=stats
         )
 
+    governor = guard.active()
     while True:
         rounds += 1
         if rounds > max_rounds:
+            return finish(UNKNOWN, None)
+        if governor.interrupted("dpllt"):
             return finish(UNKNOWN, None)
         sat_status = skeleton.solver.solve(max_work=budget)
         if sat_status == SAT_UNKNOWN:

@@ -17,11 +17,12 @@ with ``result.cached`` set.
 """
 
 from repro import cache as solve_cache
-from repro import telemetry
+from repro import guard, telemetry
 from repro.bv.solver import solve_bounded_script
 from repro.cache.keys import cache_key
 from repro.cache.store import entry_from_result, result_from_entry
-from repro.errors import UnsupportedLogicError
+from repro.errors import BudgetExceeded, UnsupportedLogicError
+from repro.guard import chaos
 from repro.solver import costs
 from repro.solver.dpllt import solve_with_theory
 from repro.solver.profiles import get_profile
@@ -33,8 +34,8 @@ def _bounded_logic(script):
     return all(sort.is_bounded for sort in script.declarations.values())
 
 
-def solve_script(script, budget=None, profile="zorro", cache=None):
-    """Solve a script under a profile with a unified work budget.
+def solve_script(script, budget=None, profile="zorro", cache=None, governor=None):
+    """Solve a script under a profile with a unified resource envelope.
 
     Args:
         script: a :class:`~repro.smtlib.script.Script` in one of the
@@ -44,13 +45,28 @@ def solve_script(script, budget=None, profile="zorro", cache=None):
         profile: profile name or :class:`SolverProfile`.
         cache: a :class:`~repro.cache.SolveCache` overriding the
             process-wide active cache (None = use the active one, if any).
+        governor: a :class:`~repro.guard.ResourceBudget` governing this
+            solve (deadline, cancellation, depth/memory ceilings). Built
+            from ``budget`` when omitted; an already-active outer
+            governor (e.g. a portfolio race deadline) becomes its parent.
 
     Returns:
         A :class:`~repro.solver.result.SolveResult` whose ``work`` is in
-        unified units regardless of engine.
+        unified units regardless of engine. Resource exhaustion in *any*
+        layer comes back as a structured ``"unknown"`` (with the layer
+        that gave up in ``stats["gave_up"]``), never as a raised
+        :class:`~repro.errors.BudgetExceeded`.
     """
     if isinstance(profile, str):
         profile = get_profile(profile)
+
+    outer = guard.active()
+    if governor is None:
+        governor = guard.ResourceBudget(
+            work=budget, parent=outer if outer is not guard.NULL_GOVERNOR else None
+        )
+    elif budget is None:
+        budget = governor.work_limit
 
     store = cache if cache is not None else solve_cache.get_cache()
     key = None
@@ -62,13 +78,56 @@ def solve_script(script, budget=None, profile="zorro", cache=None):
         if entry is not None:
             return result_from_entry(entry)
 
-    result = _solve_uncached(script, budget, profile)
-    if store is not None:
+    plan = chaos.active()
+    injected_before = plan.total_injected if plan is not None else 0
+    with guard.activate(governor):
+        chaos.inject("solver.pre_solve", salt=profile.name, governor=governor)
+        try:
+            result = _solve_uncached(script, budget, profile)
+        except BudgetExceeded as error:
+            # Safety net: no engine should leak this, but if one does the
+            # caller still gets a structured best-effort unknown.
+            result = _gave_up_result(governor, error, profile)
+    if governor.work_limit is not None:
+        # Cumulative accounting: a governor reused across solves (e.g. a
+        # portfolio race) trips its work ceiling on the next check.
+        governor.spent += result.work
+    if governor.gave_up_layer is not None:
+        result.stats.setdefault("gave_up", governor.gave_up_layer)
+        result.stats.setdefault("gave_up_reason", governor.reason)
+    if store is not None and _cacheable(result, governor, plan, injected_before):
         try:
             store.put(key, entry_from_result(result))
         except TypeError:
             pass  # model value with no JSON encoding: don't cache it
     return result
+
+
+def _gave_up_result(governor, error, profile):
+    """A structured unknown for a budget error that escaped an engine."""
+    layer = getattr(error, "layer", None) or "solver"
+    governor.note_give_up(layer, "work")
+    telemetry.counter_add("solve.budget_exceeded", profile=profile.name, layer=layer)
+    stats = unified_stats(gave_up=layer, gave_up_reason=governor.reason)
+    result = SolveResult(
+        UNKNOWN, None, getattr(error, "spent", 0) or 0, engine="guard", stats=stats
+    )
+    _record_solve(result, profile.name)
+    return result
+
+
+def _cacheable(result, governor, plan, injected_before):
+    """Whether a fresh result may be persisted.
+
+    Deadline/cancellation unknowns are wall-clock artifacts and chaos-
+    perturbed results are fault artifacts; caching either would let a
+    transient condition poison every warm rerun.
+    """
+    if governor.reason in ("deadline", "cancelled"):
+        return False
+    if plan is not None and plan.total_injected != injected_before:
+        return False
+    return True
 
 
 def _solve_uncached(script, budget, profile):

@@ -185,14 +185,29 @@ class Tracer:
 
 
 class JsonlWriter:
-    """Append closed spans to a JSON Lines file."""
+    """Append closed spans to a JSON Lines file.
+
+    Write failures (disk errors, injected ``telemetry.flush`` faults)
+    drop the record and bump :attr:`dropped`; observability loss must
+    never fail a solve.
+    """
 
     def __init__(self, path):
         self.path = path
+        self.dropped = 0
         self._handle = open(path, "w", encoding="utf-8")
 
     def __call__(self, record):
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Imported lazily: chaos imports repro.telemetry at module load.
+        from repro.guard import chaos
+
+        try:
+            if chaos.inject("telemetry.flush") is not None:
+                self.dropped += 1
+                return
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            self.dropped += 1
 
     def flush(self):
         self._handle.flush()

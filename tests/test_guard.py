@@ -1,0 +1,251 @@
+"""Resource governor tests: limits, degradation, and process hygiene."""
+
+import multiprocessing
+
+import pytest
+
+from repro import guard, telemetry
+from repro.errors import BudgetExceeded
+from repro.guard import Deadline, NullGovernor, ResourceBudget
+from repro.smtlib import parse_script
+from repro.solver import solve_script
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    telemetry.disable()
+    telemetry.get_registry().reset()
+    yield
+    telemetry.disable()
+    telemetry.get_registry().reset()
+
+
+# -- unit: the governor itself ----------------------------------------------
+
+
+class TestResourceBudget:
+    def test_work_ceiling(self):
+        governor = ResourceBudget(work=10)
+        assert governor.charge(5, "test")
+        assert not governor.charge(6, "test")
+        assert governor.reason == "work"
+        assert governor.gave_up_layer == "test"
+        assert governor.remaining_work() == 0
+
+    def test_unlimited_never_interrupts(self):
+        governor = ResourceBudget()
+        assert governor.charge(10**9)
+        assert not governor.interrupted("test")
+        assert governor.remaining_work() is None
+
+    def test_deadline(self):
+        governor = ResourceBudget(deadline=Deadline(0))
+        assert governor.interrupted("test")
+        assert governor.reason == "deadline"
+
+    def test_deadline_from_seconds(self):
+        governor = ResourceBudget(deadline=3600)
+        assert isinstance(governor.deadline, Deadline)
+        assert not governor.interrupted("test")
+
+    def test_cancel(self):
+        governor = ResourceBudget(work=10**9)
+        governor.cancel()
+        assert governor.interrupted("test")
+        assert governor.reason == "cancelled"
+
+    def test_parent_propagates(self):
+        parent = ResourceBudget()
+        child = ResourceBudget(parent=parent)
+        assert not child.interrupted("test")
+        parent.cancel()
+        assert child.interrupted("test")
+        assert child.reason == "parent"
+        assert parent.gave_up_layer == "test"
+
+    def test_memory_ceiling(self):
+        governor = ResourceBudget(max_memory=10)
+        assert governor.memory_ok(10, "test")
+        assert not governor.memory_ok(11, "test")
+        assert governor.reason == "memory"
+
+    def test_first_give_up_wins(self):
+        governor = ResourceBudget()
+        governor.note_give_up("sat", "work")
+        governor.note_give_up("lia", "deadline")
+        assert governor.gave_up_layer == "sat"
+        assert governor.reason == "work"
+
+    def test_give_up_counter(self):
+        telemetry.enable()
+        governor = ResourceBudget(work=1)
+        governor.spent = 2
+        governor.interrupted("sat")
+        assert telemetry.snapshot().get("guard.gave_up{layer=sat,reason=work}") == 1
+
+    def test_null_governor_is_inert(self):
+        governor = NullGovernor()
+        assert not governor.interrupted("test")
+        assert governor.charge(10**12)
+        assert governor.memory_ok(10**12)
+        governor.cancel()  # still a no-op
+        assert not governor.interrupted("test")
+
+    def test_activate_nests_and_restores(self):
+        assert guard.active() is guard.NULL_GOVERNOR
+        outer = ResourceBudget(work=10)
+        inner = ResourceBudget(work=5)
+        with guard.activate(outer):
+            assert guard.active() is outer
+            with guard.activate(inner):
+                assert guard.active() is inner
+            assert guard.active() is outer
+        assert guard.active() is guard.NULL_GOVERNOR
+
+    def test_budget_exceeded_formatting(self):
+        error = BudgetExceeded(150, 100, layer="simplex")
+        assert error.layer == "simplex"
+        assert "150" in str(error)
+        unlimited = BudgetExceeded(150, None)
+        assert "unlimited" in str(unlimited)
+
+
+# -- integration: every engine degrades to a structured unknown -------------
+
+
+BV_HARD = (
+    "(set-logic QF_BV)\n"
+    "(declare-fun x () (_ BitVec 16))\n"
+    "(declare-fun y () (_ BitVec 16))\n"
+    "(assert (= (bvmul x y) (_ bv28541 16)))\n"
+    "(assert (bvult (_ bv1 16) x))\n"
+    "(assert (bvult x y))\n"
+    "(check-sat)\n"
+)
+
+LIA_HARD = (
+    "(set-logic QF_LIA)\n"
+    "(declare-fun a () Int)(declare-fun b () Int)(declare-fun c () Int)\n"
+    "(assert (= (+ a (+ b c)) 10))(assert (<= a b))(assert (<= b c))\n"
+    "(assert (>= (- c a) 2))\n"
+    "(check-sat)\n"
+)
+
+LRA_HARD = (
+    "(set-logic QF_LRA)\n"
+    "(declare-fun p () Real)(declare-fun q () Real)\n"
+    "(assert (= (+ p q) 10.0))(assert (< p q))(assert (> p 1.0))\n"
+    "(check-sat)\n"
+)
+
+NIA_HARD = (
+    "(set-logic QF_NIA)\n"
+    "(declare-fun x () Int)(declare-fun y () Int)\n"
+    "(assert (= (* x y) 77))(assert (> x 1))(assert (< x y))\n"
+    "(check-sat)\n"
+)
+
+NRA_HARD = (
+    "(set-logic QF_NRA)\n"
+    "(declare-fun x () Real)(declare-fun y () Real)\n"
+    "(assert (= (+ (* x x) (* y y)) 25.0))(assert (> x 0.0))(assert (< x y))\n"
+    "(check-sat)\n"
+)
+
+EXHAUSTION_CASES = [
+    pytest.param(BV_HARD, "zorro", id="sat-bv"),
+    pytest.param(LIA_HARD, "zorro", id="simplex-lia"),
+    pytest.param(LRA_HARD, "zorro", id="simplex-lra"),
+    pytest.param(NIA_HARD, "zorro", id="nia-branch-prune"),
+    pytest.param(NIA_HARD, "corvus", id="nia-enum"),
+    pytest.param(NRA_HARD, "zorro", id="nra-icp"),
+]
+
+
+class TestFacadeDegradation:
+    @pytest.mark.parametrize("text, profile", EXHAUSTION_CASES)
+    def test_tiny_budget_returns_structured_unknown(self, text, profile):
+        """BudgetExceeded never leaks through the facade; no hang."""
+        script = parse_script(text)
+        result = solve_script(script, budget=1, profile=profile)
+        assert result.status == "unknown"
+        assert isinstance(result.stats, dict)
+
+    @pytest.mark.parametrize("text, profile", EXHAUSTION_CASES)
+    def test_expired_deadline_returns_structured_unknown(self, text, profile):
+        script = parse_script(text)
+        governor = ResourceBudget(deadline=Deadline(0))
+        result = solve_script(script, profile=profile, governor=governor)
+        assert result.status == "unknown"
+        assert governor.reason == "deadline"
+        assert result.stats.get("gave_up") == governor.gave_up_layer
+        assert result.stats.get("gave_up_reason") == "deadline"
+
+    @pytest.mark.parametrize("text, profile", EXHAUSTION_CASES)
+    def test_cancelled_governor_returns_structured_unknown(self, text, profile):
+        script = parse_script(text)
+        governor = ResourceBudget()
+        governor.cancel()
+        result = solve_script(script, profile=profile, governor=governor)
+        assert result.status == "unknown"
+        assert governor.reason == "cancelled"
+
+    def test_verdicts_match_unlimited_run(self):
+        """Generous budgets answer; the governor changes nothing then."""
+        for text, expected in ((LIA_HARD, "sat"), (NIA_HARD, "sat")):
+            script = parse_script(text)
+            governor = ResourceBudget(work=10**9, deadline=3600)
+            result = solve_script(script, budget=10**9, governor=governor)
+            assert result.status == expected
+            assert governor.gave_up_layer is None
+
+    def test_depth_ceiling_degrades_lia(self):
+        script = parse_script(LIA_HARD)
+        governor = ResourceBudget(max_depth=0)
+        result = solve_script(script, budget=10**9, governor=governor)
+        assert result.status in ("unknown", "sat")  # depth 0: no branching
+
+    def test_memory_ceiling_degrades_nra(self):
+        script = parse_script(NRA_HARD)
+        governor = ResourceBudget(max_memory=1)
+        result = solve_script(script, budget=10**9, governor=governor)
+        assert result.status == "unknown"
+        assert governor.reason == "memory"
+
+
+# -- process hygiene: the parallel race never leaks children ----------------
+
+
+HARD_FACTOR = (
+    "(set-logic QF_NIA)\n"
+    "(declare-fun x () Int)(declare-fun y () Int)\n"
+    "(assert (= (* x y) 1000003))(assert (> x 1))(assert (< x y))\n"
+    "(check-sat)\n"
+)
+
+
+class TestParallelRaceHygiene:
+    def test_wall_timeout_leaves_no_zombies(self):
+        from repro.portfolio.scheduler import parallel_race
+        from repro.portfolio.tasks import BaselineTask
+
+        # Shell enumeration on a prime product grinds for hours: both
+        # lanes are guaranteed to still be running at the wall timeout.
+        script = parse_script(HARD_FACTOR)
+        tasks = [BaselineTask("corvus"), BaselineTask("corvus")]
+        outcome = parallel_race(tasks, script, budget=None, wall_timeout=0.5)
+        assert outcome.status == "unknown"
+        # Every worker must be terminated *and* joined on the timeout path.
+        assert multiprocessing.active_children() == []
+
+    def test_governor_deadline_bounds_the_race(self):
+        from repro.portfolio.scheduler import parallel_race
+        from repro.portfolio.tasks import BaselineTask
+
+        script = parse_script(HARD_FACTOR)
+        tasks = [BaselineTask("corvus")]
+        governor = ResourceBudget(deadline=Deadline(0.2))
+        with guard.activate(governor):
+            outcome = parallel_race(tasks, script, budget=None, wall_timeout=600.0)
+        assert outcome.status == "unknown"
+        assert multiprocessing.active_children() == []
