@@ -42,6 +42,7 @@ class BitBlaster:
         self._and_cache = {}
         self._or_cache = {}
         self._xor_cache = {}
+        self._trunc_cache = {}
 
     # -- gate layer ------------------------------------------------------
 
@@ -559,6 +560,56 @@ class BitBlaster:
         """Assert a boolean term as a unit constraint."""
         literal = self.blast_bool(term)
         self.cnf.add_clause([literal])
+
+    def variable_bits(self, name):
+        """The allocated literal vector of a bitvector variable, or None.
+
+        None means the variable never occurred in a blasted term (its
+        value is unconstrained; :meth:`extract_value` defaults it to 0).
+        """
+        return self._var_bits.get(name)
+
+    def truncation_assumption(self, name, width):
+        """An assumption literal that sign-truncates a variable to ``width``.
+
+        The width-``w`` encoding of a variable is the low-``w``-bit slice
+        of its full-width encoding; this returns a fresh literal ``a``
+        with ``a -> (bit_i == bit_{w-1})`` for every high bit ``i >= w``,
+        so assuming ``a`` restricts the variable to the signed range of
+        ``width`` bits without adding any hard constraint. Retracting the
+        assumption (just not passing it to the next solve call) restores
+        the full width; no clause ever has to be deleted.
+
+        Allocated once per ``(name, width)`` -- repeated rounds at the
+        same width reuse the same literal and clauses. Returns None when
+        the variable has no encoding or already fits (``width`` covers
+        its declared width): assuming nothing is the correct semantics.
+        """
+        bits = self._var_bits.get(name)
+        if bits is None:
+            return None
+        return self.slice_assumption(bits, width)
+
+    def slice_assumption(self, bits, width):
+        """Like :meth:`truncation_assumption` but over a raw literal row.
+
+        Used for *term* rows too (e.g. the tracked arithmetic results of
+        a transform), where "fits ``width`` bits signed" is exactly the
+        no-overflow-at-``width`` guard of a width-``width`` encoding.
+        Cached per ``(bits, width)``.
+        """
+        if width >= len(bits) or width < 1:
+            return None
+        key = (tuple(bits), width)
+        literal = self._trunc_cache.get(key)
+        if literal is None:
+            literal = self.cnf.new_var()
+            sign = bits[width - 1]
+            for high in bits[width:]:
+                self.cnf.add_clause([-literal, -high, sign])
+                self.cnf.add_clause([-literal, high, -sign])
+            self._trunc_cache[key] = literal
+        return literal
 
     def extract_value(self, name, sort, sat_model):
         """Reconstruct a variable's value from a SAT model."""

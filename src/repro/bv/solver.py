@@ -9,7 +9,7 @@ evaluation harness can measure T_post reproducibly.
 from repro import guard, telemetry
 from repro.bv.bitblast import BitBlaster
 from repro.errors import UnsupportedLogicError
-from repro.sat.solver import SAT, SatSolver, SatStats
+from repro.sat.solver import SAT, UNSAT, SatSolver, SatStats
 from repro.telemetry.stats import unified_stats
 
 
@@ -128,3 +128,213 @@ def solve_bounded_script(script, max_work=None, max_conflicts=None):
         blaster.cnf.num_vars,
         len(blaster.cnf.clauses),
     )
+
+
+class RefinementRound:
+    """Outcome of one incremental solve-at-width round.
+
+    Attributes:
+        status: ``"sat"``, ``"unsat"``, or ``"unknown"``.
+        model: name -> value dict when sat, else None.
+        work: raw bounded work spent *this round* (new clauses + search
+            delta) -- the same unit as :attr:`BoundedResult.work`.
+        core: names of variables whose truncation assumptions appear in
+            the final conflict; empty on a width-independent UNSAT.
+        guard_core: True when a width-``w`` overflow-guard assumption (a
+            tracked-term slice) appears in the final conflict -- widening
+            variables alone cannot fix that round; the global width must
+            grow.
+        root_conflict: True when the UNSAT did not involve any assumption
+            at all (the hard clauses are contradictory): no widening can
+            ever help.
+        assumed: number of assumption literals this round solved under.
+        reused_clauses: learned clauses retained from earlier rounds at
+            the moment this round's search started.
+        new_clauses: CNF clauses added for this round's assumption ladder.
+    """
+
+    __slots__ = (
+        "status",
+        "model",
+        "work",
+        "core",
+        "guard_core",
+        "root_conflict",
+        "assumed",
+        "reused_clauses",
+        "new_clauses",
+    )
+
+    def __init__(
+        self,
+        status,
+        model,
+        work,
+        core,
+        guard_core,
+        root_conflict,
+        assumed,
+        reused_clauses,
+        new_clauses,
+    ):
+        self.status = status
+        self.model = model
+        self.work = work
+        self.core = core
+        self.guard_core = guard_core
+        self.root_conflict = root_conflict
+        self.assumed = assumed
+        self.reused_clauses = reused_clauses
+        self.new_clauses = new_clauses
+
+    def __repr__(self):
+        return f"RefinementRound({self.status}, work={self.work}, core={self.core})"
+
+
+class IncrementalBoundedSession:
+    """Blast once, solve at many widths, keep everything learned.
+
+    The script is encoded at its *declared* (full) widths exactly once
+    into a persistent :class:`SatSolver`. A round at a narrower width is
+    a solve under per-variable truncation assumptions ("the high bits are
+    sign-extension", see
+    :meth:`~repro.bv.bitblast.BitBlaster.truncation_assumption`);
+    widening a variable just drops its assumption at the next call, so
+    learned clauses survive every round. On a bounded-UNSAT round,
+    :meth:`SatSolver.final_conflict` yields the subset of truncation
+    assumptions that caused the failure -- the unsat core that drives
+    core-guided widening in :class:`repro.core.refinement.RefinementStaub`.
+    """
+
+    def __init__(self, script, tracked=()):
+        for name, sort in script.declarations.items():
+            if not (sort.is_bool or sort.is_bv):
+                raise UnsupportedLogicError(
+                    f"bounded solver cannot handle variable {name} of sort {sort}"
+                )
+        self.script = script
+        self.blaster = BitBlaster()
+        with telemetry.span("blast", incremental=True) as span:
+            for assertion in script.assertions:
+                self.blaster.assert_term(assertion)
+            # Tracked terms are subterms of the assertions, so these are
+            # cache hits; the rows are kept for per-round guard slices.
+            self._tracked = [self.blaster.blast_bits(term) for term in tracked]
+            span.add_work(BLAST_WORK_PER_CLAUSE * len(self.blaster.cnf.clauses))
+        self.solver = SatSolver(self.blaster.cnf.num_vars)
+        self._synced = 0
+        self._root_unsat = False
+        self.rounds = 0
+
+    @property
+    def cnf_vars(self):
+        return self.blaster.cnf.num_vars
+
+    @property
+    def cnf_clauses(self):
+        return len(self.blaster.cnf.clauses)
+
+    @property
+    def permanently_unsat(self):
+        """True once the hard (assumption-free) clauses are contradictory.
+
+        Widening cannot help then: the truncation assumptions are the
+        only retractable part of the encoding.
+        """
+        return self._root_unsat or not self.solver.okay()
+
+    def _sync(self):
+        """Feed clauses produced since the previous round to the solver."""
+        clauses = self.blaster.cnf.clauses
+        added = 0
+        while self._synced < len(clauses):
+            clause = clauses[self._synced]
+            self._synced += 1
+            added += 1
+            if not self._root_unsat and not self.solver.add_clause(clause):
+                self._root_unsat = True
+        if self.solver.num_vars < self.blaster.cnf.num_vars:
+            self.solver.grow_to(self.blaster.cnf.num_vars)
+        return added
+
+    def solve_round(self, widths, guard_width=None, max_work=None, max_conflicts=None):
+        """Solve with every variable truncated to its entry in ``widths``.
+
+        Args:
+            widths: name -> width mapping; variables missing from it (or
+                mapped at/above their declared width) are unconstrained.
+            guard_width: when given, additionally assume every tracked
+                arithmetic result fits ``guard_width`` bits signed --
+                reproducing the overflow-guard semantics of a scratch
+                transform at that width. At the full width this is a
+                no-op (the hard guards already apply).
+            max_work: deterministic budget for this round (raw bounded
+                units, covering the round's ladder clauses and search).
+
+        Returns:
+            A :class:`RefinementRound`.
+        """
+        if guard.active().interrupted("bv"):
+            return RefinementRound(
+                "unknown", None, 0, (), False, False, 0,
+                self.solver.learned_count(), 0,
+            )
+        assumptions = []
+        owner = {}
+        guard_literals = set()
+        for name in sorted(widths):
+            literal = self.blaster.truncation_assumption(name, widths[name])
+            if literal is None:
+                continue
+            assumptions.append(literal)
+            owner[literal] = name
+        if guard_width is not None:
+            for bits in self._tracked:
+                literal = self.blaster.slice_assumption(bits, guard_width)
+                if literal is None or literal in owner or literal in guard_literals:
+                    continue
+                assumptions.append(literal)
+                guard_literals.add(literal)
+        # Baseline before _sync: feeding clauses into the solver is real
+        # per-round work (attach + initial propagation) and must be
+        # charged to the round that caused it, not silently dropped.
+        base_work = self.solver.work()
+        new_clauses = self._sync()
+        blast_work = BLAST_WORK_PER_CLAUSE * new_clauses
+        reused = self.solver.learned_count()
+        core = ()
+        guard_core = False
+        root_conflict = False
+        if self.permanently_unsat:
+            status = UNSAT
+            root_conflict = True
+        else:
+            sat_budget = None
+            if max_work is not None:
+                sync_work = self.solver.work() - base_work
+                sat_budget = max(0, max_work - blast_work - sync_work)
+            status = self.solver.solve(
+                assumptions=assumptions,
+                max_work=sat_budget,
+                max_conflicts=max_conflicts,
+            )
+            if status == UNSAT:
+                failed = {abs(literal) for literal in self.solver.final_conflict()}
+                core = tuple(
+                    sorted(owner[lit] for lit in failed if lit in owner)
+                )
+                guard_core = bool(failed & guard_literals)
+                root_conflict = not failed
+        model = None
+        if status == SAT:
+            sat_model = self.solver.model()
+            model = {
+                name: self.blaster.extract_value(name, sort, sat_model)
+                for name, sort in self.script.declarations.items()
+            }
+        self.rounds += 1
+        work = blast_work + (self.solver.work() - base_work)
+        return RefinementRound(
+            status, model, work, core, guard_core, root_conflict,
+            len(assumptions), reused, new_clauses,
+        )

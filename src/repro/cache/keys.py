@@ -101,3 +101,32 @@ def cache_key(script, profile=None, budget=None, kind="solve", extra=None):
         for key in sorted(extra):
             digest.update(f"|{key}={extra[key]}".encode("utf-8"))
     return digest.hexdigest()
+
+
+def refine_round_key(script, widths, mode, max_width):
+    """Key for one width-refinement round of ``script``.
+
+    Rounds are keyed on the *original* (unbounded) script plus the exact
+    width state the round solved at -- a scalar for the scratch loop, a
+    per-variable mapping for the incremental engine -- so a warm
+    refinement replay hits round by round. Budgets are deliberately not
+    part of the key: only conclusive (sat/unsat) rounds are ever stored,
+    and those do not depend on how much budget was left.
+
+    Args:
+        script: the original script the refinement loop runs on.
+        widths: an int (scratch round) or a name -> width mapping
+            (incremental round).
+        mode: ``"scratch"`` or ``"incremental"``.
+        max_width: the loop's width ceiling (part of the incremental
+            encoding, so it discriminates).
+    """
+    if isinstance(widths, dict):
+        state = ",".join(f"{name}:{widths[name]}" for name in sorted(widths))
+    else:
+        state = str(widths)
+    return cache_key(
+        script,
+        kind="refine-round",
+        extra={"mode": mode, "widths": state, "max_width": max_width},
+    )

@@ -112,6 +112,83 @@ def result_from_entry(entry):
     )
 
 
+def entry_from_refine_round(round_result):
+    """Serialize one incremental :class:`RefinementRound` for the cache.
+
+    Only conclusive rounds should be stored (the caller enforces this):
+    an ``unknown`` is a budget artifact, not a fact about the script.
+    The core rides along because the *next* round's widths are computed
+    from it -- a warm replay must widen exactly like the cold run did.
+    """
+    return {
+        "kind": "refine-round",
+        "mode": "incremental",
+        "status": round_result.status,
+        "work": round_result.work,
+        "core": list(round_result.core),
+        "guard_core": round_result.guard_core,
+        "root_conflict": round_result.root_conflict,
+        "assumed": round_result.assumed,
+        "reused": round_result.reused_clauses,
+        "new_clauses": round_result.new_clauses,
+        "model": encode_model(round_result.model),
+    }
+
+
+def refine_round_from_entry(entry):
+    """Rehydrate an incremental round record from a cache entry."""
+    from repro.bv.solver import RefinementRound
+
+    return RefinementRound(
+        entry["status"],
+        decode_model(entry.get("model")),
+        entry.get("work", 0),
+        tuple(entry.get("core") or ()),
+        bool(entry.get("guard_core")),
+        bool(entry.get("root_conflict")),
+        entry.get("assumed", 0),
+        entry.get("reused", 0),
+        entry.get("new_clauses", 0),
+    )
+
+
+def entry_from_report(report):
+    """Serialize a scratch-round :class:`ArbitrageReport` for the cache."""
+    return {
+        "kind": "refine-round",
+        "mode": "scratch",
+        "case": report.case,
+        "t_trans": report.t_trans,
+        "t_post": report.t_post,
+        "t_check": report.t_check,
+        "width": None if report.width is None else int(report.width),
+        "bounded_status": report.bounded_status,
+        "model": encode_model(report.model),
+    }
+
+
+def report_from_entry(entry):
+    """Rehydrate a scratch-round :class:`ArbitrageReport`.
+
+    The inference and fixed-point shape are not persisted; a rehydrated
+    report carries the verdict, model, and cost split -- everything the
+    refinement loop and the evaluation read.
+    """
+    from repro.core.pipeline import ArbitrageReport
+
+    report = ArbitrageReport(
+        entry["case"],
+        model=decode_model(entry.get("model")),
+        t_trans=entry.get("t_trans", 0),
+        t_post=entry.get("t_post", 0),
+        t_check=entry.get("t_check", 0),
+        width=entry.get("width"),
+        bounded_status=entry.get("bounded_status"),
+    )
+    report.stats["case"] = report.case
+    return report
+
+
 # -- the store --------------------------------------------------------------
 
 

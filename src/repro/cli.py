@@ -9,6 +9,10 @@ Mirrors the paper's tool surface:
   solver stack (``--profile zorro|corvus``).
 - ``staub arbitrage FILE``: run the full underapproximate-then-verify
   pipeline and report the Fig. 6 case, stage costs, and the model.
+  ``--refine`` widens and retries on bounded-unsat;
+  ``--refine-incremental`` does so on one persistent SAT session with
+  core-guided widening (``--growth``, ``--max-width``, ``--max-rounds``
+  shape the schedule, ``--width`` pins the first round).
 - ``staub analyze FILE``: bound inference only (widths report).
 - ``staub optimize FILE``: apply the SLOT-style passes to a bounded
   constraint and print the result.
@@ -143,6 +147,8 @@ def _cmd_cache_clear(args):
 
 def _cmd_arbitrage(args):
     script = _read_script(args.file)
+    if args.refine or args.refine_incremental:
+        return _run_refinement(script, args)
     staub = Staub(width_strategy=args.width if args.width else "absint")
     report = staub.run(script, budget=args.budget)
     print(f"case: {report.case}")
@@ -158,6 +164,43 @@ def _cmd_arbitrage(args):
         print("reverting to the original constraint (no speedup)")
     if args.stats:
         _print_stats(report.stats)
+    return 0
+
+
+def _run_refinement(script, args):
+    from repro.solver import refine_script
+
+    cache = SolveCache(path=args.cache) if args.cache else None
+    report = refine_script(
+        script,
+        budget=args.budget,
+        incremental=args.refine_incremental,
+        growth_factor=args.growth,
+        max_rounds=args.max_rounds,
+        max_width=args.max_width,
+        initial_width=args.width if args.width else None,
+        headroom=args.headroom,
+        cache=cache,
+    )
+    print(f"case: {report.case}")
+    schedule = ", ".join(f"{width}:{case}" for width, case in report.rounds)
+    print(f"mode: {report.mode}  rounds: [{schedule}]")
+    print(
+        f"total work: {report.total_work}  cache hits: {report.cache_hits}  "
+        f"clauses reused: {report.clauses_reused}  "
+        f"core vars widened: {report.core_widened}"
+    )
+    if report.budget_exhausted:
+        print("budget exhausted: refinement stopped with rounds pending")
+    if report.model is not None:
+        print("verified model:")
+        print(_format_model(report.model))
+    elif report.case != "verified-sat":
+        print("reverting to the original constraint (no speedup)")
+    if args.stats:
+        _print_stats(report.final.stats)
+    if cache is not None:
+        cache.save()
     return 0
 
 
@@ -304,6 +347,54 @@ def build_parser():
     arbitrage.add_argument("file")
     arbitrage.add_argument("--width", type=int, default=None)
     arbitrage.add_argument("--budget", type=int, default=TIMEOUT_WORK)
+    arbitrage.add_argument(
+        "--refine",
+        action="store_true",
+        help="widen and retry on bounded-unsat (scratch re-encoding)",
+    )
+    arbitrage.add_argument(
+        "--refine-incremental",
+        action="store_true",
+        help="width refinement on one persistent SAT session: learned "
+        "clauses survive widening and unsat cores pick which variables "
+        "grow",
+    )
+    arbitrage.add_argument(
+        "--growth",
+        type=int,
+        default=2,
+        metavar="FACTOR",
+        help="width multiplier between refinement rounds (default 2)",
+    )
+    arbitrage.add_argument(
+        "--max-width",
+        type=int,
+        default=24,
+        metavar="BITS",
+        help="refinement stops widening past this width (default 24)",
+    )
+    arbitrage.add_argument(
+        "--max-rounds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="maximum refinement rounds (default 3)",
+    )
+    arbitrage.add_argument(
+        "--headroom",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="incremental refinement: encode this many growth steps "
+        "wider than each round so consecutive rounds share one encoding "
+        "(default 0: encode at exactly the round width)",
+    )
+    arbitrage.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE.json",
+        help="persistent per-round refinement cache (refine modes only)",
+    )
     _add_chaos_flag(arbitrage)
     _add_telemetry_flags(arbitrage)
     arbitrage.set_defaults(func=_cmd_arbitrage)

@@ -96,6 +96,28 @@ class ArbitrageReport:
         return f"ArbitrageReport({self.case}, total={self.total_work})"
 
 
+def check_candidate(script, transformed, bounded_model):
+    """Stage 5: back-map a bounded model and verify it exactly.
+
+    Shared by :meth:`Staub.run` and the incremental refinement engine
+    (:mod:`repro.core.refinement`), so every round's sat answer goes
+    through the identical underapproximation contract.
+
+    Returns:
+        ``(case, model, t_check)`` -- :data:`CASE_VERIFIED_SAT` with the
+        unbounded candidate when it satisfies the original script,
+        :data:`CASE_SEMANTIC_DIFFERENCE` with ``None`` otherwise.
+    """
+    candidate = transformed.back_map(bounded_model)
+    with telemetry.span("verify") as span:
+        outcome = verify_model(script, candidate)
+        span.set_attr("ok", outcome.ok)
+        span.settle(outcome.work)
+    if outcome.ok:
+        return CASE_VERIFIED_SAT, candidate, outcome.work
+    return CASE_SEMANTIC_DIFFERENCE, None, outcome.work
+
+
 class Staub:
     """Configurable theory-arbitrage pre-processor.
 
@@ -197,7 +219,16 @@ class Staub:
         try:
             transformed, inference, t_trans = self.transform(script)
         except TransformError:
-            return self._finish(ArbitrageReport(CASE_TRANSFORM_FAILED))
+            # The failed attempt still analyzed and translated the
+            # script; charging zero would undercount every retry loop
+            # that probes widths (the telemetry spans already record
+            # this work -- the report must agree with them).
+            return self._finish(
+                ArbitrageReport(
+                    CASE_TRANSFORM_FAILED,
+                    t_trans=TRANSLATE_COST_PER_NODE * script.size(),
+                )
+            )
 
         bounded_script = transformed.script
         if self.optimizer is not None:
@@ -248,17 +279,9 @@ class Staub:
             # (Fig. 6 case 1): revert.
             return self._finish(ArbitrageReport(CASE_BOUNDED_UNSAT, **common))
 
-        candidate = transformed.back_map(bounded.model)
-        with telemetry.span("verify") as span:
-            outcome = verify_model(script, candidate)
-            span.set_attr("ok", outcome.ok)
-            span.settle(outcome.work)
-        common["t_check"] = outcome.work
-        if outcome.ok:
-            return self._finish(
-                ArbitrageReport(CASE_VERIFIED_SAT, model=candidate, **common)
-            )
-        return self._finish(ArbitrageReport(CASE_SEMANTIC_DIFFERENCE, **common))
+        case, candidate, t_check = check_candidate(script, transformed, bounded.model)
+        common["t_check"] = t_check
+        return self._finish(ArbitrageReport(case, model=candidate, **common))
 
     @staticmethod
     def _finish(report):

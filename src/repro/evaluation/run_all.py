@@ -60,6 +60,7 @@ EXPERIMENTS = (
     "table3",
     "fig7",
     "ablation",
+    "refinement",
     "bounded_gap",
     "families",
     "fig8",
@@ -79,6 +80,8 @@ def run(experiment, cache, args):
         return fig7.render(cache)
     if experiment == "ablation":
         return ablation.render(cache)
+    if experiment == "refinement":
+        return ablation.render_refinement(cache)
     if experiment == "bounded_gap":
         return bounded_gap.render(cache)
     if experiment == "families":

@@ -513,10 +513,12 @@ class SatSolver:
 
     def _search(self, assumptions=(), max_conflicts=None, max_work=None):
         """The CDCL search loop behind :meth:`solve`."""
+        # Reset before the permanent-UNSAT check: a re-solve after a root
+        # conflict must not report the previous call's assumption core.
+        self._final_conflict = []
         if not self._ok:
             return UNSAT
         self._backtrack(0)  # reset any state left by a previous solve call
-        self._final_conflict = []
         internal_assumptions = [self._internal(lit) for lit in assumptions]
         for literal in internal_assumptions:
             self.grow_to((literal >> 1) + 1)
@@ -620,8 +622,33 @@ class SatSolver:
 
     def final_conflict(self):
         """After an assumption-driven UNSAT: the failing assumption subset
-        (negated), in DIMACS form."""
+        (negated), in DIMACS form.
+
+        Empty after a *root-level* UNSAT: the hard clauses alone are
+        contradictory and no assumption choice can restore satisfiability
+        (see :meth:`okay`).
+        """
         return list(self._final_conflict)
+
+    def okay(self):
+        """False once the clause database is unsatisfiable at the root.
+
+        This is permanent: every later :meth:`solve` returns ``UNSAT``
+        immediately (with an empty :meth:`final_conflict`) and
+        :meth:`add_clause` refuses new clauses. Incremental users check
+        this to distinguish "these assumptions failed" from "the problem
+        itself is dead".
+        """
+        return self._ok
+
+    def learned_count(self):
+        """Learned clauses currently retained in the database.
+
+        Clauses survive across :meth:`solve` calls (the whole point of
+        incremental reuse); database reduction may delete some between
+        calls, so this is a lower bound on clauses ever learned.
+        """
+        return len(self._learned)
 
     def model(self):
         """The satisfying assignment as a ``{var: bool}`` dict.

@@ -11,13 +11,14 @@ native stack (see DESIGN.md):
 Entry points:
 
 - :func:`solve_script` -- solve any supported script under a profile.
+- :func:`refine_script` -- theory arbitrage with width refinement.
 - :class:`SolveResult` -- status + model + deterministic work.
 - :data:`PROFILES` -- the registered solver profiles.
 """
 
 from repro.solver.result import SAT, UNKNOWN, UNSAT, SolveResult
 from repro.solver.profiles import PROFILES, SolverProfile, get_profile
-from repro.solver.facade import solve_script
+from repro.solver.facade import refine_script, solve_script
 
 __all__ = [
     "SAT",
@@ -28,4 +29,5 @@ __all__ = [
     "SolverProfile",
     "get_profile",
     "solve_script",
+    "refine_script",
 ]

@@ -103,6 +103,42 @@ def solve_script(script, budget=None, profile="zorro", cache=None, governor=None
     return result
 
 
+def refine_script(
+    script,
+    budget=None,
+    incremental=False,
+    growth_factor=2,
+    max_rounds=3,
+    max_width=24,
+    initial_width=None,
+    headroom=0,
+    cache=None,
+):
+    """Solve with width refinement: widen and retry on bounded-unsat.
+
+    A thin façade over :class:`repro.core.refinement.RefinementStaub`,
+    matching :func:`solve_script`'s cache conventions (per-round entries
+    land in the active process-wide cache unless ``cache`` overrides it).
+
+    Returns:
+        A :class:`repro.core.refinement.RefinementReport`.
+    """
+    # Local import: repro.core imports this package for cost accounting,
+    # so a top-level import would be circular.
+    from repro.core.refinement import RefinementStaub
+
+    loop = RefinementStaub(
+        growth_factor=growth_factor,
+        max_rounds=max_rounds,
+        max_width=max_width,
+        initial_width=initial_width,
+        incremental=incremental,
+        headroom=headroom,
+        cache=cache,
+    )
+    return loop.run(script, budget=budget)
+
+
 def _gave_up_result(governor, error, profile):
     """A structured unknown for a budget error that escaped an engine."""
     layer = getattr(error, "layer", None) or "solver"
