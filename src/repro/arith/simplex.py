@@ -105,6 +105,11 @@ class Simplex:
         self.pivots = 0
         self.work_budget = work_budget
         self._bound_tags = {}  # index -> {('lo'|'hi'): tag}
+        # Deep-profile counters, tracked only while telemetry is enabled
+        # and flushed as deltas by check(); they never affect solving.
+        self.bound_asserts = 0
+        self.bound_updates = 0
+        self._recorded = (0, 0)
 
     # -- variables --------------------------------------------------------
 
@@ -167,6 +172,8 @@ class Simplex:
             SimplexConflict: the new bound contradicts an existing one
                 directly (full conflicts can also surface later in check()).
         """
+        if telemetry.enabled:
+            self.bound_asserts += 1
         if len(coefficients) == 1:
             ((name, coefficient),) = coefficients.items()
             index = self.variable(name)
@@ -222,6 +229,8 @@ class Simplex:
             self._update(index, bound)
 
     def _update(self, index, value):
+        if telemetry.enabled:
+            self.bound_updates += 1
         delta = value - self._assignment[index]
         for basic in self._basic:
             coefficient = self._rows[basic].get(index)
@@ -287,9 +296,17 @@ class Simplex:
         try:
             return self._check()
         finally:
+            asserts_done, updates_done = self._recorded
             telemetry.record_counters(
-                {"pivots": self.pivots - before, "checks": 1}, engine="simplex"
+                {
+                    "pivots": self.pivots - before,
+                    "checks": 1,
+                    "bound_asserts": self.bound_asserts - asserts_done,
+                    "bound_updates": self.bound_updates - updates_done,
+                },
+                engine="simplex",
             )
+            self._recorded = (self.bound_asserts, self.bound_updates)
 
     def _check(self):
         """The Bland's-rule pivot loop behind :meth:`check`."""

@@ -1,0 +1,34 @@
+"""Deterministic benchmark harness (``staub bench``).
+
+The bench layer is the measurement discipline every perf PR is gated
+on. It runs named suites through the real solver stack and writes a
+versioned ``BENCH_<suite>.json`` artifact with two cleanly segregated
+sections:
+
+- **deterministic**: verdicts, unified work units, per-stage span
+  aggregates, and solver counters. Byte-identical across machines and
+  runs; CI diffs it exactly against a checked-in baseline.
+- **wall_clock**: median-of-N timings and throughput rates
+  (propagations/sec, pivots/sec, ...). Informational -- it moves with
+  the hardware and is compared only within a tolerance, never gated by
+  default.
+
+See :mod:`repro.bench.suites` for the suite catalogue,
+:mod:`repro.bench.harness` for the runner, and
+:mod:`repro.bench.compare` for baseline comparison / regression gating.
+"""
+
+from repro.bench.compare import compare_payloads, render_comparison
+from repro.bench.harness import BENCH_FORMAT, default_artifact_name, run_suite, write_artifact
+from repro.bench.suites import available_suites, get_suite
+
+__all__ = [
+    "BENCH_FORMAT",
+    "available_suites",
+    "compare_payloads",
+    "default_artifact_name",
+    "get_suite",
+    "render_comparison",
+    "run_suite",
+    "write_artifact",
+]

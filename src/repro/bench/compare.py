@@ -1,0 +1,123 @@
+"""Compare a bench artifact against a baseline (``staub bench --compare``).
+
+Two regimes, matching the artifact's two sections:
+
+- The **deterministic** sections are diffed *exactly*. Any difference --
+  a changed verdict, a work total that moved, a counter that appeared or
+  vanished -- is a finding. This is the regression gate CI enforces: a
+  perf PR that changes deterministic work must regenerate the checked-in
+  baseline deliberately, making every cost change visible in review.
+- The **wall-clock** sections are compared within a relative tolerance,
+  and only when one is requested: timings move with the hardware, so by
+  default wall drift is reported as informational warnings and never
+  fails the comparison.
+"""
+
+
+def _walk_diff(current, baseline, path, findings, limit=200):
+    """Structural diff; appends ``(path, kind, detail)`` findings."""
+    if len(findings) >= limit:
+        return
+    if type(current) is not type(baseline):
+        findings.append((path, "type", f"{_show(baseline)} -> {_show(current)}"))
+        return
+    if isinstance(current, dict):
+        for key in sorted(set(baseline) | set(current)):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in current:
+                findings.append((child, "removed", _show(baseline[key])))
+            elif key not in baseline:
+                findings.append((child, "added", _show(current[key])))
+            else:
+                _walk_diff(current[key], baseline[key], child, findings, limit)
+        return
+    if isinstance(current, list):
+        if len(current) != len(baseline):
+            findings.append(
+                (path, "length", f"{len(baseline)} -> {len(current)}")
+            )
+            return
+        for index, (cur, base) in enumerate(zip(current, baseline)):
+            _walk_diff(cur, base, f"{path}[{index}]", findings, limit)
+        return
+    if current != baseline:
+        findings.append((path, "changed", f"{_show(baseline)} -> {_show(current)}"))
+
+
+def _show(value):
+    text = repr(value)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def compare_payloads(current, baseline, wall_tolerance=None):
+    """Compare two bench payloads.
+
+    Args:
+        current: the fresh run's payload dict.
+        baseline: the baseline payload dict.
+        wall_tolerance: relative slowdown allowed before a wall-clock
+            drift counts as a regression (e.g. ``0.25`` = 25% slower).
+            None (default) keeps wall drift informational.
+
+    Returns:
+        ``(regressions, warnings)`` -- lists of human-readable strings.
+        Empty ``regressions`` means the gate passes.
+    """
+    regressions = []
+    warnings = []
+
+    if current.get("format") != baseline.get("format"):
+        regressions.append(
+            "artifact format mismatch: baseline "
+            f"{baseline.get('format')!r}, current {current.get('format')!r}"
+        )
+        return regressions, warnings
+    if current.get("suite") != baseline.get("suite"):
+        regressions.append(
+            f"suite mismatch: baseline {baseline.get('suite')!r}, "
+            f"current {current.get('suite')!r}"
+        )
+        return regressions, warnings
+
+    findings = []
+    _walk_diff(
+        current.get("deterministic", {}),
+        baseline.get("deterministic", {}),
+        "",
+        findings,
+    )
+    for path, kind, detail in findings:
+        regressions.append(f"deterministic: {path}: {kind}: {detail}")
+
+    cur_wall = current.get("wall_clock", {}).get("cases", {})
+    base_wall = baseline.get("wall_clock", {}).get("cases", {})
+    for name in sorted(set(cur_wall) & set(base_wall)):
+        cur_s = cur_wall[name].get("seconds_median")
+        base_s = base_wall[name].get("seconds_median")
+        if not cur_s or not base_s:
+            continue
+        ratio = cur_s / base_s
+        message = (
+            f"wall-clock: {name}: {base_s:.6f}s -> {cur_s:.6f}s "
+            f"({ratio:.2f}x)"
+        )
+        if wall_tolerance is not None and ratio > 1.0 + wall_tolerance:
+            regressions.append(message + f" exceeds tolerance {wall_tolerance:.2f}")
+        elif ratio > 1.0:
+            warnings.append(message)
+
+    return regressions, warnings
+
+
+def render_comparison(regressions, warnings):
+    """Human-readable comparison report."""
+    lines = []
+    if regressions:
+        lines.append(f"REGRESSIONS ({len(regressions)}):")
+        lines.extend(f"  {entry}" for entry in regressions)
+    else:
+        lines.append("deterministic sections identical")
+    if warnings:
+        lines.append(f"wall-clock drift (informational, {len(warnings)}):")
+        lines.extend(f"  {entry}" for entry in warnings)
+    return "\n".join(lines)

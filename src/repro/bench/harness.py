@@ -1,0 +1,192 @@
+"""Run a bench suite and build the ``BENCH_<suite>.json`` payload.
+
+Each case runs three ways:
+
+1. **cold, instrumented**: fresh metrics registry, in-memory span sink,
+   fresh solve cache. Produces the case's deterministic record: verdict,
+   unified work, per-stage span aggregates, and the registry's counter
+   totals (propagations, conflicts, decisions, pivots, gates blasted,
+   refinement rounds, ...).
+2. **warm, instrumented**: the same case again on the now-warm cache,
+   recording the cache-served work and hit counts -- the per-query
+   hit/latency accounting that makes cache/reuse claims credible.
+3. **timed, uninstrumented** (optional): ``repeats`` cold repeats with
+   telemetry off, wall-clock only. The median lands in the wall-clock
+   section together with throughput rates derived from the cold
+   deterministic counters.
+
+The deterministic section contains only ints, strings, and bools -- no
+floats, no timestamps, no paths -- and serializes byte-identically under
+``json.dumps(..., sort_keys=True)`` on every machine.
+"""
+
+import json
+import statistics
+import time
+
+from repro import telemetry
+from repro.bench.suites import get_suite
+from repro.cache import SolveCache
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import aggregate
+from repro.telemetry.spans import Tracer
+
+#: Version stamp of the artifact layout; bump on incompatible changes.
+BENCH_FORMAT = 1
+
+#: Counters whose suite-wide totals feed throughput rates.
+THROUGHPUT_COUNTERS = (
+    "solver.propagations",
+    "solver.conflicts",
+    "solver.decisions",
+    "solver.pivots",
+    "blast.cnf_clauses",
+)
+
+
+def default_artifact_name(suite):
+    return f"BENCH_{suite}.json"
+
+
+def _counter_totals(snapshot):
+    """Collapse a registry snapshot to ``{base_name: total}`` ints.
+
+    Labels are summed away (``solver.propagations{engine=sat}`` and any
+    other labelling of the same base name pool together); histogram
+    snapshots (dicts) and other non-int values are skipped -- totals are
+    the deterministic, diffable core.
+    """
+    totals = {}
+    for name, value in snapshot.items():
+        base = name.split("{", 1)[0]
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        totals[base] = totals.get(base, 0) + value
+    return totals
+
+
+def _run_instrumented(case, cache):
+    """Run ``case`` under a fresh registry + span sink; returns
+    ``(outcome, counter_totals, stage_aggregates)``."""
+    spans = []
+    registry = MetricsRegistry()
+    previous = telemetry.set_registry(registry)
+    was_enabled = telemetry.enabled
+    telemetry.enable(sink=spans.append)
+    try:
+        outcome = case.run(cache)
+    finally:
+        telemetry.disable()
+        telemetry.set_registry(previous)
+        if was_enabled:
+            # The caller had telemetry on (e.g. nested under a traced
+            # run); re-arm it without a sink rather than leaving it dead.
+            telemetry.enable()
+    stages = {
+        name: {"spans": entry["spans"], "work": entry["work"]}
+        for name, entry in sorted(aggregate(spans).items())
+    }
+    return outcome, _counter_totals(registry.snapshot()), stages
+
+
+def _time_case(case, repeats):
+    """Median wall seconds over ``repeats`` cold, uninstrumented runs."""
+    samples = []
+    for _ in range(repeats):
+        cache = SolveCache(max_entries=None)
+        start = time.perf_counter()
+        case.run(cache)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def run_suite(suite, repeats=3, timing=True, progress=None):
+    """Run a named suite; returns the full artifact payload dict.
+
+    Args:
+        suite: suite name (see :func:`repro.bench.suites.get_suite`).
+        repeats: wall-clock repeats per case (median is reported).
+        timing: skip the wall-clock section entirely when False (the
+            deterministic section never depends on it).
+        progress: optional ``callable(str)`` for per-case progress lines.
+    """
+    cases = get_suite(suite)
+    det_cases = {}
+    wall_cases = {}
+    totals = {"cases": len(cases), "work": 0}
+    counter_sums = {}
+
+    for case in cases:
+        if progress is not None:
+            progress(f"bench: {suite}/{case.name}")
+        cache = SolveCache(max_entries=None)
+        cold, counters, stages = _run_instrumented(case, cache)
+        hits_after_cold = cache.hits
+        warm, warm_counters, _warm_stages = _run_instrumented(case, cache)
+        record = {
+            "kind": case.kind,
+            "cold": cold,
+            "warm": {
+                "outcome": warm,
+                "cache_hits": cache.hits - hits_after_cold,
+            },
+            "counters": counters,
+            "stages": stages,
+        }
+        det_cases[case.name] = record
+        totals["work"] += int(cold.get("work", 0))
+        for name, value in counters.items():
+            counter_sums[name] = counter_sums.get(name, 0) + value
+
+        if timing and repeats > 0:
+            seconds = _time_case(case, repeats)
+            rates = {}
+            for name in THROUGHPUT_COUNTERS:
+                count = counters.get(name, 0)
+                if count and seconds > 0:
+                    rates[f"{name}_per_sec"] = round(count / seconds, 1)
+            wall_cases[case.name] = {
+                "seconds_median": round(seconds, 6),
+                "throughput": rates,
+            }
+
+    payload = {
+        "format": BENCH_FORMAT,
+        "suite": suite,
+        "deterministic": {
+            "cases": det_cases,
+            "totals": totals,
+            "counters": {name: counter_sums[name] for name in sorted(counter_sums)},
+        },
+        "wall_clock": {
+            "repeats": repeats if timing else 0,
+            "cases": wall_cases,
+            "seconds_total": round(
+                sum(entry["seconds_median"] for entry in wall_cases.values()), 6
+            ),
+        },
+    }
+    return payload
+
+
+def deterministic_bytes(payload):
+    """The canonical serialization of the deterministic section.
+
+    This is the string CI byte-compares: two runs of the same suite on
+    any machines must agree on it exactly.
+    """
+    return json.dumps(payload["deterministic"], sort_keys=True)
+
+
+def write_artifact(payload, path):
+    """Write the artifact (sorted keys, trailing newline); returns path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path):
+    """Read a ``BENCH_*.json`` artifact back into a payload dict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

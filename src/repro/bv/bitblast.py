@@ -17,10 +17,33 @@ Circuit choices are the textbook ones used by real bit-blasters:
   mirroring their SMT-LIB definitions.
 """
 
+from repro import telemetry
 from repro.errors import SolverError
 from repro.sat.cnf import CNF
 from repro.smtlib.terms import Op
 from repro.smtlib.values import BVValue
+
+
+class BlastStats:
+    """Hot-path gate counters, tracked only while telemetry is enabled.
+
+    These feed the bench harness's throughput accounting (gates blasted,
+    gate-cache effectiveness); they never influence solving and are kept
+    outside the deterministic result contract, so disabled runs stay
+    byte-identical.
+    """
+
+    __slots__ = ("and_gates", "xor_gates", "mux_gates", "gate_cache_hits", "const_folds")
+
+    def __init__(self):
+        self.and_gates = 0
+        self.xor_gates = 0
+        self.mux_gates = 0
+        self.gate_cache_hits = 0
+        self.const_folds = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class BitBlaster:
@@ -43,6 +66,7 @@ class BitBlaster:
         self._or_cache = {}
         self._xor_cache = {}
         self._trunc_cache = {}
+        self.stats = BlastStats()
 
     # -- gate layer ------------------------------------------------------
 
@@ -55,16 +79,25 @@ class BitBlaster:
         return -self._true
 
     def _gate_and(self, a, b):
-        if a == self._true:
-            return b
-        if b == self._true:
-            return a
-        if a == -self._true or b == -self._true:
-            return -self._true
-        if a == b:
-            return a
-        if a == -b:
-            return -self._true
+        if (
+            a == self._true
+            or b == self._true
+            or a == -self._true
+            or b == -self._true
+            or a == b
+            or a == -b
+        ):
+            if telemetry.enabled:
+                self.stats.const_folds += 1
+            if a == self._true:
+                return b
+            if b == self._true:
+                return a
+            if a == -self._true or b == -self._true:
+                return -self._true
+            if a == b:
+                return a
+            return -self._true  # a == -b
         key = (min(a, b), max(a, b))
         out = self._and_cache.get(key)
         if out is None:
@@ -73,24 +106,37 @@ class BitBlaster:
             self.cnf.add_clause([-out, b])
             self.cnf.add_clause([out, -a, -b])
             self._and_cache[key] = out
+            if telemetry.enabled:
+                self.stats.and_gates += 1
+        elif telemetry.enabled:
+            self.stats.gate_cache_hits += 1
         return out
 
     def _gate_or(self, a, b):
         return -self._gate_and(-a, -b)
 
     def _gate_xor(self, a, b):
-        if a == self._true:
-            return -b
-        if b == self._true:
-            return -a
-        if a == -self._true:
-            return b
-        if b == -self._true:
-            return a
-        if a == b:
-            return -self._true
-        if a == -b:
-            return self._true
+        if (
+            a == self._true
+            or b == self._true
+            or a == -self._true
+            or b == -self._true
+            or a == b
+            or a == -b
+        ):
+            if telemetry.enabled:
+                self.stats.const_folds += 1
+            if a == self._true:
+                return -b
+            if b == self._true:
+                return -a
+            if a == -self._true:
+                return b
+            if b == -self._true:
+                return a
+            if a == b:
+                return -self._true
+            return self._true  # a == -b
         cache_key = (min(a, b), max(a, b))
         out = self._xor_cache.get(cache_key)
         if out is None:
@@ -100,17 +146,23 @@ class BitBlaster:
             self.cnf.add_clause([out, -a, b])
             self.cnf.add_clause([out, a, -b])
             self._xor_cache[cache_key] = out
+            if telemetry.enabled:
+                self.stats.xor_gates += 1
+        elif telemetry.enabled:
+            self.stats.gate_cache_hits += 1
         return out
 
     def _gate_mux(self, select, if_true, if_false):
         """out = select ? if_true : if_false."""
-        if if_true == if_false:
-            return if_true
-        if select == self._true:
-            return if_true
-        if select == -self._true:
+        if if_true == if_false or select == self._true or select == -self._true:
+            if telemetry.enabled:
+                self.stats.const_folds += 1
+            if if_true == if_false or select == self._true:
+                return if_true
             return if_false
         out = self.cnf.new_var()
+        if telemetry.enabled:
+            self.stats.mux_gates += 1
         self.cnf.add_clause([-out, -select, if_true])
         self.cnf.add_clause([-out, select, if_false])
         self.cnf.add_clause([out, -select, -if_true])

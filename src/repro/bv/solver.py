@@ -85,6 +85,7 @@ def solve_bounded_script(script, max_work=None, max_conflicts=None):
             {
                 "cnf_vars": blaster.cnf.num_vars,
                 "cnf_clauses": len(blaster.cnf.clauses),
+                **blaster.stats.as_dict(),
             },
             prefix="blast",
             engine="bv",
@@ -221,6 +222,16 @@ class IncrementalBoundedSession:
             # cache hits; the rows are kept for per-round guard slices.
             self._tracked = [self.blaster.blast_bits(term) for term in tracked]
             span.add_work(BLAST_WORK_PER_CLAUSE * len(self.blaster.cnf.clauses))
+        if telemetry.enabled:
+            telemetry.record_counters(
+                {
+                    "cnf_vars": self.blaster.cnf.num_vars,
+                    "cnf_clauses": len(self.blaster.cnf.clauses),
+                    **self.blaster.stats.as_dict(),
+                },
+                prefix="blast",
+                engine="bv-incremental",
+            )
         self.solver = SatSolver(self.blaster.cnf.num_vars)
         self._synced = 0
         self._root_unsat = False

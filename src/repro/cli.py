@@ -22,7 +22,13 @@ Mirrors the paper's tool surface:
 - ``staub cache stats/clear FILE.json``: inspect or reset a persistent
   solve cache (built by ``solve --cache`` / ``run_all --cache``).
 - ``staub profile TRACE.jsonl``: per-stage breakdown of a telemetry
-  trace recorded with ``--trace``.
+  trace recorded with ``--trace``; ``--top N`` caps the table,
+  ``--critical-path`` prints the heaviest span chain, and
+  ``--flamegraph OUT.folded`` exports collapsed stacks.
+- ``staub bench --suite NAME``: run a deterministic benchmark suite
+  and write a two-section ``BENCH_<suite>.json`` artifact;
+  ``--compare BASELINE.json`` exits nonzero on any deterministic
+  regression.
 
 Observability flags (``solve`` and ``arbitrage``): ``--trace FILE.jsonl``
 writes one JSON span per pipeline stage on the deterministic virtual
@@ -205,6 +211,8 @@ def _run_refinement(script, args):
 
 
 def _cmd_profile(args):
+    from repro.telemetry.analyze import render_critical_path, render_flamegraph
+
     try:
         spans = load_trace(args.file)
     except ValueError as error:
@@ -213,7 +221,74 @@ def _cmd_profile(args):
     if not spans:
         print(f"error: no spans in {args.file}", file=sys.stderr)
         return 1
-    print(render_profile(spans))
+    print(render_profile(spans, top=args.top))
+    if args.critical_path:
+        print()
+        print(render_critical_path(spans))
+    if args.flamegraph:
+        folded = render_flamegraph(spans)
+        if args.flamegraph == "-":
+            print()
+            print(folded)
+        else:
+            with open(args.flamegraph, "w", encoding="utf-8") as handle:
+                handle.write(folded + "\n")
+            print(f"wrote {args.flamegraph} (collapsed stacks)")
+    return 0
+
+
+def _cmd_bench(args):
+    from repro.bench import (
+        available_suites,
+        compare_payloads,
+        default_artifact_name,
+        render_comparison,
+        run_suite,
+        write_artifact,
+    )
+    from repro.bench.harness import load_artifact
+
+    if args.list:
+        for name in available_suites():
+            print(name)
+        return 0
+    if args.replay:
+        payload = load_artifact(args.replay)
+    else:
+        if not args.suite:
+            print("staub: error: bench needs --suite, --replay, or --list",
+                  file=sys.stderr)
+            return 2
+        try:
+            payload = run_suite(
+                args.suite,
+                repeats=args.repeats,
+                timing=not args.no_wall,
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+        except KeyError as error:
+            print(f"staub: error: {error.args[0]}", file=sys.stderr)
+            return 2
+        out = args.out or default_artifact_name(args.suite)
+        write_artifact(payload, out)
+        print(f"wrote {out}", file=sys.stderr)
+
+    deterministic = payload["deterministic"]
+    print(f"suite: {payload['suite']}  cases: {deterministic['totals']['cases']}  "
+          f"work: {deterministic['totals']['work']}")
+    wall = payload.get("wall_clock", {})
+    if wall.get("cases"):
+        print(f"wall: {wall['seconds_total']:.3f}s median-of-{wall['repeats']} "
+              "(informational)")
+
+    if args.compare:
+        baseline = load_artifact(args.compare)
+        regressions, warnings = compare_payloads(
+            payload, baseline, wall_tolerance=args.wall_tolerance
+        )
+        print(render_comparison(regressions, warnings))
+        if regressions:
+            return 1
     return 0
 
 
@@ -403,7 +478,83 @@ def build_parser():
         "profile", help="per-stage breakdown of a --trace JSONL file"
     )
     profile.add_argument("file")
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show at most N non-pipeline stages (sorted by work desc, "
+        "then name; pipeline stages always print)",
+    )
+    profile.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the heaviest root-to-leaf span chain",
+    )
+    profile.add_argument(
+        "--flamegraph",
+        default=None,
+        metavar="OUT.folded",
+        help="write collapsed stacks (flamegraph.pl / speedscope format); "
+        "'-' prints to stdout",
+    )
     profile.set_defaults(func=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a deterministic benchmark suite, write BENCH_<suite>.json",
+    )
+    bench.add_argument(
+        "--suite",
+        default=None,
+        help="suite name (see --list)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE.json",
+        help="artifact path (default BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="wall-clock repeats per case, median reported (default 3)",
+    )
+    bench.add_argument(
+        "--no-wall",
+        action="store_true",
+        help="skip wall-clock timing entirely (deterministic section only)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="diff against a baseline artifact; exit 1 on any "
+        "deterministic difference",
+    )
+    bench.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="treat wall-clock slowdowns beyond this fraction as "
+        "regressions too (e.g. 0.25); default: informational only",
+    )
+    bench.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE.json",
+        help="reuse an existing artifact instead of running the suite "
+        "(useful with --compare)",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="list available suites and exit",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     analyze = sub.add_parser("analyze", help="bound inference report")
     analyze.add_argument("file")

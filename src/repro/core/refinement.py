@@ -300,6 +300,7 @@ class RefinementStaub:
             total_work += _bill(report.total_work, remaining)
             if report.case == CASE_BOUNDED_UNKNOWN:
                 break
+        telemetry.counter_add("refine.rounds", amount=len(rounds), mode="scratch")
         return RefinementReport(
             report,
             rounds,
@@ -561,6 +562,10 @@ class RefinementStaub:
                 )
                 break
 
+        telemetry.counter_add("refine.rounds", amount=len(rounds), mode="incremental")
+        telemetry.counter_add(
+            "refine.subrounds", amount=ctx["subrounds"], mode="incremental"
+        )
         return RefinementReport(
             final,
             rounds,

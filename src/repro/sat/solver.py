@@ -181,6 +181,11 @@ class SatSolver:
         self._seen = []
         self._ok = True
         self.stats = SatStats()
+        # Deep-profile peaks, tracked only while telemetry is enabled
+        # (kept out of SatStats: they are observability data, not part of
+        # the deterministic work/stats contract of a result).
+        self._deep_max_trail = 0
+        self._deep_max_level = 0
         self._conflict_budget = None
         self._work_budget = None
         self._final_conflict = []
@@ -502,6 +507,8 @@ class SatSolver:
         if not telemetry.enabled:
             return self._search(assumptions, max_conflicts, max_work)
         before = self.stats.as_dict()
+        self._deep_max_trail = 0
+        self._deep_max_level = 0
         result = self._search(assumptions, max_conflicts, max_work)
         after = self.stats.as_dict()
         telemetry.record_counters(
@@ -509,6 +516,8 @@ class SatSolver:
             engine="sat",
         )
         telemetry.counter_add("solver.solve_calls", engine="sat")
+        telemetry.observe("sat.trail_peak", self._deep_max_trail, engine="sat")
+        telemetry.observe("sat.level_peak", self._deep_max_level, engine="sat")
         return result
 
     def _search(self, assumptions=(), max_conflicts=None, max_work=None):
@@ -528,12 +537,18 @@ class SatSolver:
         conflicts_total = 0
         conflict_limit = luby(restart_index) * 100
         governor = guard.active()
+        deep = telemetry.enabled  # bound once: the hot loop never re-checks
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_total += 1
+                if deep:
+                    if len(self._trail) > self._deep_max_trail:
+                        self._deep_max_trail = len(self._trail)
+                    if len(self._trail_lim) > self._deep_max_level:
+                        self._deep_max_level = len(self._trail_lim)
                 if not self._trail_lim:
                     self._ok = False
                     return UNSAT

@@ -72,13 +72,16 @@ def is_enabled():
     return enabled
 
 
-def enable(trace_path=None, wall_clock=False, registry=None):
+def enable(trace_path=None, wall_clock=False, registry=None, sink=None):
     """Turn telemetry on.
 
     Args:
         trace_path: write closed spans to this JSONL file.
         wall_clock: also record (non-deterministic) wall durations.
         registry: replace the process-global metrics registry.
+        sink: callable receiving each closed span's dict; used by
+            in-process consumers (the bench harness) instead of a trace
+            file. Ignored when ``trace_path`` is given.
 
     Returns:
         The active :class:`~repro.telemetry.spans.Tracer`.
@@ -87,7 +90,7 @@ def enable(trace_path=None, wall_clock=False, registry=None):
     if _writer is not None:
         _writer.close()
     _writer = JsonlWriter(trace_path) if trace_path else None
-    _tracer = Tracer(sink=_writer, wall_clock=wall_clock)
+    _tracer = Tracer(sink=_writer if _writer is not None else sink, wall_clock=wall_clock)
     if registry is not None:
         set_registry(registry)
     enabled = True

@@ -1,0 +1,157 @@
+"""Deep analysis of JSONL span traces: tree reconstruction, critical
+path, and collapsed-stack flamegraph export.
+
+The ``staub profile`` table (:mod:`repro.telemetry.profile`) answers
+"how much work went into each stage name overall". The two views here
+answer the follow-up questions a perf investigation actually asks:
+
+- **Critical path**: which *chain* of nested stages dominates the trace?
+  Starting from the heaviest root span, repeatedly descend into the
+  heaviest child. The resulting path is where an optimisation pays off
+  end to end; a stage that is hot in aggregate but off this chain only
+  shaves slack.
+- **Flamegraph export**: the trace collapsed into the standard
+  ``parent;child;grandchild <count>`` stack format consumed by
+  flamegraph.pl, speedscope, inferno, and friends. Counts are *self*
+  work (a span's work minus its children's), so stack counts sum to
+  total trace work exactly like sampled profiler output.
+
+Both views are computed from the deterministic virtual-clock fields
+only, so their output is byte-identical across machines and diffable in
+CI. Span records arrive in close order (children before parents -- see
+:class:`~repro.telemetry.spans.Tracer`), which makes tree reconstruction
+a single pass: a record at depth ``d`` adopts every not-yet-adopted
+record at depth ``d + 1``.
+"""
+
+
+class SpanNode:
+    """One reconstructed span with its children attached.
+
+    Attributes:
+        name / attrs / depth / t_start / t_end / work: the record fields.
+        children: list of child :class:`SpanNode`, in close order.
+        self_work: ``work`` minus the children's work (never negative).
+    """
+
+    __slots__ = ("name", "attrs", "depth", "t_start", "t_end", "work", "children")
+
+    def __init__(self, record, children):
+        self.name = record["name"]
+        self.attrs = record.get("attrs", {})
+        self.depth = record["depth"]
+        self.t_start = record["t_start"]
+        self.t_end = record["t_end"]
+        self.work = record.get("work", 0)
+        self.children = children
+
+    @property
+    def self_work(self):
+        return max(0, self.work - sum(child.work for child in self.children))
+
+    def __repr__(self):
+        return f"SpanNode({self.name!r}, work={self.work}, children={len(self.children)})"
+
+
+def build_tree(spans):
+    """Reconstruct the span forest from close-ordered records.
+
+    Returns the list of root nodes in close order. Records the tracer
+    never closed under a root (impossible in a well-formed trace, but
+    tolerated) are promoted to roots, ordered by start time.
+    """
+    pending = {}  # depth -> [SpanNode] closed but not yet adopted
+    for record in spans:
+        depth = record["depth"]
+        children = pending.pop(depth + 1, [])
+        pending.setdefault(depth, []).append(SpanNode(record, children))
+    roots = pending.pop(0, [])
+    for depth in sorted(pending):
+        roots.extend(pending[depth])
+    roots.sort(key=lambda node: (node.t_start, node.depth))
+    return roots
+
+
+def _heaviest(nodes):
+    """Deterministic pick: most work, then earliest start, then name."""
+    return min(nodes, key=lambda node: (-node.work, node.t_start, node.name))
+
+
+def critical_path(spans):
+    """The dominant chain of nested stages.
+
+    Returns a list of dicts ``{name, work, self_work, share}`` from the
+    heaviest root down to a leaf, always descending into the heaviest
+    child. ``share`` is the node's work as a fraction of the root's
+    (computed here for rendering; it is derived, not stored in
+    deterministic artifacts).
+    """
+    roots = build_tree(spans)
+    if not roots:
+        return []
+    node = _heaviest(roots)
+    total = node.work or 1
+    path = []
+    while True:
+        path.append(
+            {
+                "name": node.name,
+                "work": node.work,
+                "self_work": node.self_work,
+                "share": node.work / total,
+            }
+        )
+        if not node.children:
+            return path
+        node = _heaviest(node.children)
+
+
+def render_critical_path(spans):
+    """Human-readable critical-path report."""
+    path = critical_path(spans)
+    if not path:
+        return "critical path: (empty trace)"
+    width = max(len(entry["name"]) for entry in path)
+    lines = ["critical path (heaviest chain of nested stages):"]
+    for index, entry in enumerate(path):
+        indent = "  " * index
+        lines.append(
+            f"  {indent}{entry['name']:<{width}}  work={entry['work']}  "
+            f"self={entry['self_work']}  {100.0 * entry['share']:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _sanitize(name):
+    """Frame names safe for the collapsed-stack grammar."""
+    return str(name).replace(";", ":").replace(" ", "_")
+
+
+def collapse_stacks(spans):
+    """Fold the trace into ``{"a;b;c": self_work}`` stack counts.
+
+    Only stacks with positive self work appear (standard collapsed
+    format semantics: a frame that delegated all its work to children
+    contributes no samples of its own). Counts across all stacks sum to
+    the total trace work.
+    """
+    folded = {}
+
+    def walk(node, prefix):
+        stack = f"{prefix};{_sanitize(node.name)}" if prefix else _sanitize(node.name)
+        self_work = node.self_work
+        if self_work > 0:
+            folded[stack] = folded.get(stack, 0) + self_work
+        for child in node.children:
+            walk(child, stack)
+
+    for root in build_tree(spans):
+        walk(root, "")
+    return folded
+
+
+def render_flamegraph(spans):
+    """Collapsed-stack text (one ``stack count`` line, sorted) ready for
+    ``flamegraph.pl`` / speedscope / inferno."""
+    folded = collapse_stacks(spans)
+    return "\n".join(f"{stack} {count}" for stack, count in sorted(folded.items()))

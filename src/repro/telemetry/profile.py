@@ -43,16 +43,27 @@ def aggregate(spans):
     return stages
 
 
-def render_profile(spans, stage_order=FIG3_STAGES):
+def render_profile(spans, stage_order=FIG3_STAGES, top=None):
     """Human-readable per-stage table for a trace.
 
     Stages in ``stage_order`` come first (present or not -- a stage the
-    trace never reached prints as zero); any other span names follow in
-    sorted order.
+    trace never reached prints as zero); any other span names follow.
+
+    Sort order is deterministic and documented so profile output can be
+    diffed in CI: the non-pipeline rows are ordered by aggregate work
+    descending, ties broken by name ascending. ``top`` keeps only the
+    first ``top`` of those extra rows (the pinned pipeline stages always
+    print).
     """
     stages = aggregate(spans)
     names = [name for name in stage_order]
-    names += sorted(name for name in stages if name not in stage_order)
+    extras = sorted(
+        (name for name in stages if name not in stage_order),
+        key=lambda name: (-stages[name]["work"], name),
+    )
+    if top is not None:
+        extras = extras[: max(0, top)]
+    names += extras
     denominator = sum(stages.get(name, {}).get("work", 0) for name in stage_order)
     if denominator == 0:
         denominator = sum(entry["work"] for entry in stages.values()) or 1

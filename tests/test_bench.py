@@ -1,0 +1,265 @@
+"""Tests for the bench harness: determinism, compare gating, CLI, analysis."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.bench import available_suites, compare_payloads, get_suite, run_suite
+from repro.bench.harness import deterministic_bytes, load_artifact, write_artifact
+from repro.cli import main
+from repro.telemetry.analyze import (
+    build_tree,
+    collapse_stacks,
+    critical_path,
+    render_flamegraph,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baselines", "BENCH_smoke.json")
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off():
+    telemetry.disable()
+    telemetry.get_registry().reset()
+    yield
+    telemetry.disable()
+    telemetry.get_registry().reset()
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One shared smoke run (wall-clock skipped: deterministic only)."""
+    return run_suite("smoke", timing=False)
+
+
+def _payload(suite="smoke", work=100, seconds=1.0):
+    """Small synthetic artifact for compare tests."""
+    return {
+        "format": 1,
+        "suite": suite,
+        "deterministic": {
+            "cases": {"a": {"cold": {"verdict": "sat", "work": work}}},
+            "totals": {"cases": 1, "work": work},
+            "counters": {"solver.propagations": work * 10},
+        },
+        "wall_clock": {
+            "repeats": 1,
+            "cases": {"a": {"seconds_median": seconds, "throughput": {}}},
+            "seconds_total": seconds,
+        },
+    }
+
+
+class TestSuites:
+    def test_available_suites(self):
+        names = available_suites()
+        assert "smoke" in names
+        assert names == sorted(names)
+
+    def test_unknown_suite_raises_with_listing(self):
+        with pytest.raises(KeyError, match="smoke"):
+            get_suite("nope")
+
+    def test_smoke_covers_engine_families(self):
+        kinds = {case.kind for case in get_suite("smoke")}
+        assert {"solve", "arbitrage", "refine"} <= kinds
+
+
+class TestDeterminism:
+    def test_smoke_deterministic_section_byte_identical(self, smoke_payload):
+        again = run_suite("smoke", timing=False)
+        assert deterministic_bytes(smoke_payload) == deterministic_bytes(again)
+
+    def test_smoke_matches_checked_in_baseline(self, smoke_payload):
+        baseline = load_artifact(BASELINE)
+        regressions, _warnings = compare_payloads(smoke_payload, baseline)
+        assert regressions == [], (
+            "deterministic drift vs benchmarks/baselines/BENCH_smoke.json -- "
+            "if the cost change is intentional, regenerate the baseline with "
+            "`staub bench --suite smoke --no-wall --out "
+            "benchmarks/baselines/BENCH_smoke.json`"
+        )
+
+    def test_deterministic_section_is_json_safe(self, smoke_payload):
+        def check(value, path):
+            if isinstance(value, dict):
+                for key, child in value.items():
+                    check(child, f"{path}.{key}")
+            elif isinstance(value, list):
+                for index, child in enumerate(value):
+                    check(child, f"{path}[{index}]")
+            else:
+                assert isinstance(value, (int, str, bool)) or value is None, (
+                    f"non-deterministic type at {path}: {value!r}"
+                )
+
+        check(smoke_payload["deterministic"], "deterministic")
+
+    def test_warm_runs_hit_the_cache(self, smoke_payload):
+        cases = smoke_payload["deterministic"]["cases"]
+        hits = sum(record["warm"]["cache_hits"] for record in cases.values())
+        assert hits > 0
+
+    def test_deep_counters_present(self, smoke_payload):
+        counters = smoke_payload["deterministic"]["counters"]
+        for name in (
+            "solver.propagations",
+            "solver.conflicts",
+            "solver.decisions",
+            "blast.cnf_clauses",
+            "blast.and_gates",
+            "refine.rounds",
+        ):
+            assert counters.get(name, 0) > 0, name
+
+    def test_bench_leaves_telemetry_disabled(self, smoke_payload):
+        assert not telemetry.enabled
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        regressions, warnings = compare_payloads(_payload(), _payload())
+        assert regressions == []
+        assert warnings == []
+
+    def test_deterministic_change_is_regression(self):
+        regressions, _ = compare_payloads(_payload(work=101), _payload(work=100))
+        assert regressions
+        assert any("deterministic" in entry for entry in regressions)
+
+    def test_added_and_removed_keys_are_regressions(self):
+        current = _payload()
+        del current["deterministic"]["counters"]["solver.propagations"]
+        current["deterministic"]["counters"]["solver.pivots"] = 5
+        regressions, _ = compare_payloads(current, _payload())
+        kinds = "\n".join(regressions)
+        assert "removed" in kinds
+        assert "added" in kinds
+
+    def test_wall_drift_is_informational_by_default(self):
+        regressions, warnings = compare_payloads(
+            _payload(seconds=2.0), _payload(seconds=1.0)
+        )
+        assert regressions == []
+        assert warnings and "wall-clock" in warnings[0]
+
+    def test_wall_tolerance_gates_when_requested(self):
+        regressions, _ = compare_payloads(
+            _payload(seconds=2.0), _payload(seconds=1.0), wall_tolerance=0.25
+        )
+        assert regressions and "tolerance" in regressions[0]
+
+    def test_wall_within_tolerance_passes(self):
+        regressions, warnings = compare_payloads(
+            _payload(seconds=1.1), _payload(seconds=1.0), wall_tolerance=0.25
+        )
+        assert regressions == []
+        assert warnings
+
+    def test_suite_mismatch_short_circuits(self):
+        regressions, _ = compare_payloads(_payload(suite="qf_nia"), _payload())
+        assert regressions == ["suite mismatch: baseline 'smoke', current 'qf_nia'"]
+
+
+class TestBenchCli:
+    def test_list_suites(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+
+    def test_bench_without_suite_is_usage_error(self, capsys):
+        assert main(["bench"]) == 2
+        assert "--suite" in capsys.readouterr().err
+
+    def test_unknown_suite_is_usage_error(self, capsys):
+        assert main(["bench", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_replay_compare_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        write_artifact(_payload(), str(base))
+        same = tmp_path / "same.json"
+        write_artifact(_payload(), str(same))
+        perturbed = tmp_path / "bad.json"
+        write_artifact(_payload(work=101), str(perturbed))
+
+        assert main(["bench", "--replay", str(same), "--compare", str(base)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["bench", "--replay", str(perturbed), "--compare", str(base)]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_python_dash_m_repro_matches_staub(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 2
+        assert "a subcommand is required" in proc.stderr
+
+
+def _spans():
+    """A small close-ordered trace: root(20) -> a(12) -> b(5), root -> c(3)."""
+    return [
+        {"name": "b", "depth": 2, "t_start": 2, "t_end": 7, "work": 5},
+        {"name": "a", "depth": 1, "t_start": 1, "t_end": 13, "work": 12},
+        {"name": "c", "depth": 1, "t_start": 13, "t_end": 16, "work": 3},
+        {"name": "root", "depth": 0, "t_start": 0, "t_end": 20, "work": 20},
+    ]
+
+
+class TestAnalyze:
+    def test_build_tree_reconstructs_nesting(self):
+        roots = build_tree(_spans())
+        assert [node.name for node in roots] == ["root"]
+        root = roots[0]
+        assert [child.name for child in root.children] == ["a", "c"]
+        assert root.children[0].children[0].name == "b"
+        assert root.self_work == 5  # 20 - 12 - 3
+
+    def test_critical_path_follows_heaviest_child(self):
+        path = critical_path(_spans())
+        assert [entry["name"] for entry in path] == ["root", "a", "b"]
+        assert path[0]["share"] == 1.0
+
+    def test_collapse_stacks_self_work_sums_to_total(self):
+        stacks = collapse_stacks(_spans())
+        assert stacks == {"root": 5, "root;a": 7, "root;a;b": 5, "root;c": 3}
+        assert sum(stacks.values()) == 20
+
+    def test_flamegraph_format_is_collapsed_stacks(self):
+        folded = render_flamegraph(_spans())
+        total = 0
+        for line in folded.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack, line
+            assert count.isdigit(), line
+            for frame in stack.split(";"):
+                assert frame and ";" not in frame and " " not in frame
+            total += int(count)
+        assert total == 20
+
+    def test_flamegraph_cli_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        with open(trace, "w", encoding="utf-8") as handle:
+            for span in _spans():
+                handle.write(json.dumps(span) + "\n")
+        out = tmp_path / "out.folded"
+        code = main(
+            ["profile", str(trace), "--flamegraph", str(out), "--critical-path"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "critical path" in printed
+        content = out.read_text()
+        assert "root;a;b 5" in content

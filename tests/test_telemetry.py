@@ -336,3 +336,76 @@ class TestRunAllArtifact:
             payload = json.load(handle)
         assert {"experiments", "cells", "metrics"} <= set(payload)
         assert payload["experiments"][0]["experiment"] == "table1"
+
+
+class TestWallClockTracer:
+    def _trace(self, tmp_path, name, wall_clock):
+        trace = str(tmp_path / name)
+        telemetry.enable(trace_path=trace, wall_clock=wall_clock)
+        solve_script(parse_script(CUBES), budget=1_000_000)
+        telemetry.disable()
+        return load_trace(trace)
+
+    def test_wall_fields_populated_when_requested(self, tmp_path):
+        spans = self._trace(tmp_path, "wall.jsonl", wall_clock=True)
+        assert spans
+        for span in spans:
+            assert isinstance(span["wall_seconds"], float)
+            assert span["wall_seconds"] >= 0.0
+
+    def test_wall_fields_absent_by_default(self, tmp_path):
+        spans = self._trace(tmp_path, "virtual.jsonl", wall_clock=False)
+        assert spans
+        for span in spans:
+            assert "wall_seconds" not in span
+
+    def test_wall_clock_leaves_deterministic_fields_untouched(self, tmp_path):
+        with_wall = self._trace(tmp_path, "wall.jsonl", wall_clock=True)
+        without = self._trace(tmp_path, "virtual.jsonl", wall_clock=False)
+        stripped = []
+        for span in with_wall:
+            record = dict(span)
+            record.pop("wall_seconds", None)
+            stripped.append(record)
+        canonical = [json.dumps(r, sort_keys=True) for r in stripped]
+        baseline = [json.dumps(r, sort_keys=True) for r in without]
+        assert canonical == baseline
+
+
+class TestProfileTop:
+    def _spans(self):
+        # Pipeline stages plus three extra stages with tie-broken works.
+        spans = []
+        clock = 0
+        stages = [("infer", 5), ("transform", 5), ("bounded-solve", 50),
+                  ("verify", 5), ("blast", 9), ("alpha", 4), ("beta", 4)]
+        for name, work in stages:
+            spans.append({"name": name, "depth": 0, "t_start": clock,
+                          "t_end": clock + work, "work": work})
+            clock += work
+        return spans
+
+    def test_top_caps_extras_but_keeps_pipeline_stages(self):
+        out = render_profile(self._spans(), top=1)
+        for stage in FIG3_STAGES:
+            assert stage in out, stage
+        assert "blast" in out
+        assert "alpha" not in out
+        assert "beta" not in out
+
+    def test_extras_sorted_by_work_then_name(self):
+        out = render_profile(self._spans())
+        lines = [line.split()[0] for line in out.splitlines()[1:] if line.strip()]
+        extras = [name for name in lines if name not in FIG3_STAGES][:3]
+        # blast is heaviest; alpha and beta tie on work, alphabetical after.
+        assert extras == ["blast", "alpha", "beta"]
+
+    def test_profile_cli_top_flag(self, nia_file, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["arbitrage", "--trace", trace, nia_file]) == 0
+        capsys.readouterr()
+        assert main(["profile", trace, "--top", "0"]) == 0
+        out = capsys.readouterr().out
+        for stage in FIG3_STAGES:
+            assert stage in out, stage
+        assert "blast" not in out
