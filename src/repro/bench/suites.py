@@ -19,7 +19,9 @@ Suites:
 - ``benchgen``: a seeded slice of all four generator logics through the
   solve facade, both unbounded profiles on NIA.
 - ``termination``: termination-prover programs through the Automizer
-  client (the RQ3 query stream: many similar, mostly-unsat queries).
+  client (the RQ3 query stream: many similar, mostly-unsat queries),
+  each program both in the classic per-query mode (``term/``) and with
+  the STAUB lane scoped through push/pop sessions (``term-session/``).
 """
 
 from repro.benchgen import suite_for
@@ -102,17 +104,21 @@ def _arbitrage_case(name, script, budget=BENCH_BUDGET):
     return BenchCase(name, "arbitrage", run)
 
 
-def _termination_case(name, program, budget=BENCH_BUDGET):
+def _termination_case(name, program, budget=BENCH_BUDGET, use_sessions=False):
     from repro.cache import activated
     from repro.termination.automizer import Automizer
 
     def run(cache):
         with activated(cache):
-            analysis = Automizer(budget=budget).analyze(program)
+            analysis = Automizer(budget=budget, use_sessions=use_sessions).analyze(
+                program
+            )
         return {
             "verdict": analysis.verdict,
             "work": analysis.final_work,
             "queries": len(analysis.queries),
+            "staub_work": sum(query.staub_work for query in analysis.queries),
+            "baseline_work": analysis.baseline_work,
         }
 
     return BenchCase(name, "termination", run)
@@ -192,6 +198,17 @@ def _termination():
     cases = []
     for program, _expected in termination_benchmark_suite(seed=2024, count=4):
         cases.append(_termination_case(f"term/{program.name}", program))
+        # The same query stream with the STAUB lane scoped: a shared
+        # push/pop session per constraint family, so the iterative
+        # candidates pay inference/translation/bit-blasting once. The
+        # session-vs-classic comparison (strictly less deterministic
+        # STAUB work, verdicts never downgraded) is asserted by
+        # tests/test_bench.py over this artifact.
+        cases.append(
+            _termination_case(
+                f"term-session/{program.name}", program, use_sessions=True
+            )
+        )
     return cases
 
 

@@ -6,7 +6,9 @@ Mirrors the paper's tool surface:
   paper's output flag for use with external solvers), with ``--width``
   overriding the abstract-interpretation choice.
 - ``staub solve FILE``: solve the constraint directly with the native
-  solver stack (``--profile zorro|corvus``).
+  solver stack (``--profile zorro|corvus``). Incremental scripts
+  (push/pop/reset-assertions or several ``check-sat``) run as one
+  persistent session and print one verdict line per ``check-sat``.
 - ``staub arbitrage FILE``: run the full underapproximate-then-verify
   pipeline and report the Fig. 6 case, stage costs, and the model.
   ``--refine`` widens and retries on bounded-unsat;
@@ -83,9 +85,45 @@ def _print_stats(stats):
         print(f"  {key} = {stats[key]}")
 
 
+def _run_session_script(script, args, cache):
+    """``staub solve`` on an incremental script: one persistent session."""
+    from repro.solver.session import run_script_session
+
+    def _replay():
+        return run_script_session(
+            script, profile=args.profile, budget=args.budget, cache=cache
+        )
+
+    if args.deadline is not None:
+        governor = guard.ResourceBudget(work=None, deadline=args.deadline)
+        with guard.activate(governor):
+            results, session = _replay()
+    else:
+        results, session = _replay()
+    for result in results:
+        print(result.status)
+    counters = session.counters
+    print(
+        f"; session: {counters['check_sat']} checks "
+        f"({counters['backend_checks']} incremental, "
+        f"{counters['fallback_checks']} fallback, "
+        f"{counters['cache_hits']} cached) "
+        f"pushes={counters['push']} pops={counters['pop']} "
+        f"work={counters['work']} "
+        f"(~{to_virtual_seconds(counters['work']):.2f} virtual seconds)"
+    )
+    if args.stats and results:
+        _print_stats(results[-1].stats)
+    if cache is not None:
+        cache.save()
+    return 0
+
+
 def _cmd_solve(args):
     script = _read_script(args.file)
     cache = SolveCache(path=args.cache) if args.cache else None
+    if script.is_incremental:
+        return _run_session_script(script, args, cache)
     governor = None
     if args.deadline is not None:
         governor = guard.ResourceBudget(work=args.budget, deadline=args.deadline)

@@ -96,6 +96,22 @@ class ArbitrageReport:
         return f"ArbitrageReport({self.case}, total={self.total_work})"
 
 
+def choose_int_width(inference, width_strategy="absint", max_int_width=MAX_INT_WIDTH):
+    """Width selection for integer constraints (Fig. 4 practicalities).
+
+    Module-level so the scope-aware session lane
+    (:mod:`repro.core.session`) applies the exact same rule as
+    :meth:`Staub._choose_int_width`: the root inference when it fits the
+    practical cap, else the variable assumption ``x`` with overflow
+    guards enforcing intermediate soundness.
+    """
+    if isinstance(width_strategy, int):
+        return width_strategy
+    if inference.root <= max_int_width:
+        return max(MIN_INT_WIDTH, inference.root)
+    return max(MIN_INT_WIDTH, min(inference.assumption, max_int_width))
+
+
 def check_candidate(script, transformed, bounded_model):
     """Stage 5: back-map a bounded model and verify it exactly.
 
@@ -155,11 +171,7 @@ class Staub:
         constraint is translated at the assumption width 12 rather than
         the 38-bit root width).
         """
-        if isinstance(self.width_strategy, int):
-            return self.width_strategy
-        if inference.root <= self.max_int_width:
-            return max(MIN_INT_WIDTH, inference.root)
-        return max(MIN_INT_WIDTH, min(inference.assumption, self.max_int_width))
+        return choose_int_width(inference, self.width_strategy, self.max_int_width)
 
     def _choose_shape(self, inference):
         if isinstance(self.width_strategy, int):

@@ -74,5 +74,14 @@ class BudgetExceeded(SolverError):
         self.layer = layer
 
 
+class SessionError(SolverError):
+    """An incremental session was driven outside its contract.
+
+    Raised for structural misuse -- popping below the root scope,
+    using a closed session -- never for resource exhaustion (which
+    degrades to a structured ``unknown`` result instead).
+    """
+
+
 class CacheError(ReproError):
     """The persistent solve cache was unusable (corrupt or unwritable)."""

@@ -6,7 +6,13 @@ commands and :class:`~repro.smtlib.terms.Term` objects.
 
 Supported commands: ``set-logic``, ``set-info``, ``set-option`` (ignored),
 ``declare-fun`` (zero arity), ``declare-const``, ``define-fun`` (expanded
-as a macro), ``assert``, ``check-sat``, ``get-model``, ``exit``.
+as a macro), ``assert``, ``check-sat``, ``get-model``, ``exit``, and the
+incremental assertion-stack commands ``push``, ``pop``, and
+``reset-assertions``. Scope balance is validated statically: a ``(pop n)``
+that would drop below the root scope is a :class:`ParseError`, not a
+crash at solve time. Declarations are global in this fragment -- they
+survive ``pop`` and ``reset-assertions`` (the common solver behaviour
+under ``:global-declarations``).
 
 Supported term syntax covers the quantifier-free Core, Int, Real, BV, and
 FP fragments the paper uses, including indexed identifiers such as
@@ -480,11 +486,22 @@ class _RneAwareTermParser(_TermParser):
         return super()._atom(token, env)
 
 
+def _scope_count(sexpr, name):
+    """The numeral argument of ``(push n)`` / ``(pop n)`` (default 1)."""
+    if len(sexpr.items) == 1:
+        return 1
+    arg = sexpr.items[1]
+    if isinstance(arg, SExpr) or arg.kind != NUMERAL:
+        raise ParseError(f"{name} takes a numeral", sexpr.line, sexpr.column)
+    return int(arg.text)
+
+
 def parse_script(text):
     """Parse SMT-LIB source text into a :class:`Script`."""
     sexprs = _read_sexprs(tokenize(text))
     script = Script()
     macros = {}
+    depth = 0
     parser = _RneAwareTermParser(script.declarations, macros)
     for sexpr in sexprs:
         if not isinstance(sexpr, SExpr) or not sexpr.items:
@@ -527,6 +544,23 @@ def parse_script(text):
             term = parser.parse(sexpr.items[1])
             script.add_assertion(term)
             script.commands.append(Command("assert", term))
+        elif name == "push":
+            count = _scope_count(sexpr, "push")
+            depth += count
+            script.commands.append(Command("push", count))
+        elif name == "pop":
+            count = _scope_count(sexpr, "pop")
+            if count > depth:
+                raise ParseError(
+                    f"pop {count} below assertion stack depth {depth}",
+                    sexpr.line,
+                    sexpr.column,
+                )
+            depth -= count
+            script.commands.append(Command("pop", count))
+        elif name == "reset-assertions":
+            depth = 0
+            script.commands.append(Command("reset-assertions"))
         elif name in ("check-sat", "get-model", "exit", "get-info", "get-value"):
             script.commands.append(Command(name))
         else:

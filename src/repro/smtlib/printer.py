@@ -126,13 +126,24 @@ def print_command(command):
         return f"(declare-const {symbol} {print_sort(sort)})"
     if name == "assert":
         return f"(assert {print_term(command.args[0])})"
-    if name in ("check-sat", "get-model", "exit"):
+    if name == "push" or name == "pop":
+        return f"({name} {command.args[0]})"
+    if name in ("check-sat", "get-model", "exit", "reset-assertions"):
         return f"({name})"
     raise ValueError(f"cannot print command {name!r}")
 
 
 def print_script(script):
-    """Render a full :class:`~repro.smtlib.script.Script`."""
+    """Render a full :class:`~repro.smtlib.script.Script`.
+
+    Non-incremental scripts render as the canonical flat form
+    (declarations, assertions, one ``check-sat``). Incremental scripts --
+    ones using push/pop/reset-assertions or several ``check-sat``
+    commands -- render their command list faithfully so the scoped
+    structure round-trips through the parser.
+    """
+    if script.is_incremental:
+        return print_session_script(script)
     lines = []
     if script.logic:
         lines.append(f"(set-logic {script.logic})")
@@ -141,4 +152,21 @@ def print_script(script):
     for assertion in script.assertions:
         lines.append(f"(assert {print_term(assertion)})")
     lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def print_session_script(script):
+    """Render an incremental script as its faithful command stream.
+
+    ``set-info``/``set-option`` commands are elided (the parser keeps
+    only a blank placeholder for them) and ``set-logic`` prints once, in
+    front, whether or not it appeared as a command.
+    """
+    lines = []
+    if script.logic:
+        lines.append(f"(set-logic {script.logic})")
+    for command in script.commands:
+        if command.name in ("set-logic", "set-info", "set-option"):
+            continue
+        lines.append(print_command(command))
     return "\n".join(lines) + "\n"

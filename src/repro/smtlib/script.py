@@ -28,13 +28,22 @@ class Command:
         return f"Command({self.name!r}, ...)"
 
 
+#: Commands that make a script *incremental*: its meaning is a replay of
+#: the command list (a session), not one flat conjunction.
+SCOPE_COMMANDS = frozenset({"push", "pop", "reset-assertions"})
+
+
 class Script:
     """A parsed SMT-LIB script.
 
     Attributes:
         logic: the declared logic string (e.g. ``"QF_NIA"``), or None.
         declarations: ordered mapping from variable name to sort.
-        assertions: the asserted boolean terms, in order.
+        assertions: the asserted boolean terms, in order. For incremental
+            scripts (see :attr:`has_scopes`) this is the *flat* view --
+            every term ever asserted, including ones later popped; the
+            scoped meaning lives in :attr:`commands` and is replayed by
+            :func:`repro.solver.session.run_script_session`.
         commands: the raw command list, including metadata commands.
     """
 
@@ -118,6 +127,22 @@ class Script:
         if has_int:
             return "QF_NIA" if nonlinear else "QF_LIA"
         return "QF_UF"
+
+    @property
+    def has_scopes(self):
+        """True when the script uses the assertion stack (push/pop/reset)."""
+        return any(command.name in SCOPE_COMMANDS for command in self.commands)
+
+    def check_sat_count(self):
+        """Number of ``check-sat`` commands (0 for scripts built from terms)."""
+        return sum(1 for command in self.commands if command.name == "check-sat")
+
+    @property
+    def is_incremental(self):
+        """True when the script must be run as a session, not one solve:
+        it manipulates the assertion stack or asks more than one
+        ``check-sat`` question."""
+        return self.has_scopes or self.check_sat_count() > 1
 
     @property
     def is_bounded(self):

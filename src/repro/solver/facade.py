@@ -139,6 +139,21 @@ def refine_script(
     return loop.run(script, budget=budget)
 
 
+def open_session(profile="zorro", budget=None, cache=None):
+    """Start an incremental session sharing this facade's conventions.
+
+    A :class:`~repro.solver.session.Session` answers a *stream* of
+    ``check-sat`` questions over a push/pop assertion stack, paying
+    bit-blasting once for bounded stacks. Unbounded stacks fall back to
+    :func:`solve_script` of the flattened scopes, so a session is never
+    worse than scratch solving.
+    """
+    # Local import: the session module builds on this facade.
+    from repro.solver.session import Session
+
+    return Session(profile=profile, budget=budget, cache=cache)
+
+
 def _gave_up_result(governor, error, profile):
     """A structured unknown for a budget error that escaped an engine."""
     layer = getattr(error, "layer", None) or "solver"

@@ -15,10 +15,14 @@ whole constraint stream.
 """
 
 from repro.core.pipeline import Staub
+from repro.core.session import ArbitrageSession
 from repro.errors import TransformError
 from repro.solver import solve_script
-from repro.termination.nontermination import nontermination_constraints
-from repro.termination.ranking import ranking_constraints
+from repro.termination.nontermination import (
+    NonterminationTemplate,
+    nontermination_constraints,
+)
+from repro.termination.ranking import RankingTemplate, ranking_constraints
 
 TERMINATING = "terminating"
 NONTERMINATING = "nonterminating"
@@ -88,15 +92,24 @@ class Automizer:
         budget: unified work budget per query (the virtual timeout).
         use_staub: run each query through STAUB as well and use portfolio
             semantics (the paper's RQ3 configuration).
+        use_sessions: drive the STAUB lane through scope-aware
+            :class:`~repro.core.session.ArbitrageSession` instances --
+            one per constraint family per program -- so the iterative
+            candidate stream pays inference, translation, and
+            bit-blasting for the shared Farkas core once instead of per
+            query. Off by default: the classic per-query pipeline is the
+            paper's RQ3 configuration and the benchmark baseline.
     """
 
-    def __init__(self, profile="zorro", budget=2_000_000, use_staub=True):
+    def __init__(self, profile="zorro", budget=2_000_000, use_staub=True,
+                 use_sessions=False):
         self.profile = profile
         self.budget = budget
         self.use_staub = use_staub
+        self.use_sessions = use_sessions
         self._staub = Staub()
 
-    def _solve_query(self, kind, script):
+    def _solve_query(self, kind, script, session=None):
         baseline = solve_script(script, budget=self.budget, profile=self.profile)
         baseline_work = min(baseline.work, self.budget)
         if baseline.is_unknown:
@@ -106,7 +119,10 @@ class Automizer:
         verified = False
         answer = baseline.status
         if self.use_staub:
-            report = self._staub.run(script, budget=self.budget)
+            if session is not None:
+                report = session.check(budget=self.budget)
+            else:
+                report = self._staub.run(script, budget=self.budget)
             staub_case = report.case
             staub_work = min(report.total_work, self.budget)
             verified = report.usable
@@ -131,6 +147,8 @@ class Automizer:
         stream), the generous template next, and nontermination arguments
         when ranking synthesis fails.
         """
+        if self.use_sessions and self.use_staub:
+            return self._analyze_with_sessions(program)
         queries = []
 
         # Candidate 1: fast-decrease, tiny-coefficient template. Fails on
@@ -164,6 +182,70 @@ class Automizer:
 
         nonterm = nontermination_constraints(program, magnitude_bound=None)
         answer, record = self._solve_query("nontermination", nonterm)
+        queries.append(record)
+        if answer == "sat":
+            return AnalysisResult(program, NONTERMINATING, queries)
+
+        return AnalysisResult(program, UNKNOWN, queries)
+
+    #: The ranking candidate ladder: (kind, coefficient_bound, decrease).
+    RANKING_CANDIDATES = (
+        ("ranking-fast", 1, 8),
+        ("ranking-tight", 1, 1),
+        ("ranking-wide", 16, 1),
+    )
+
+    def _analyze_with_sessions(self, program):
+        """The same candidate-query sequence, with the STAUB lane scoped.
+
+        The baseline lane still solves each *flat* query script, so
+        baseline verdicts (and therefore program verdicts, whenever the
+        baseline is decisive) are byte-identical to the classic mode.
+        The STAUB lane asserts each constraint family's shared core once
+        into an :class:`ArbitrageSession` and push/pops the per-candidate
+        layers, so the stream pays core translation and bit-blasting a
+        single time.
+        """
+        queries = []
+
+        template = RankingTemplate(program)
+        ranking = ArbitrageSession(budget=self.budget)
+        for term in template.base_assertions:
+            ranking.assert_term(term)
+        for kind, bound, decrease in self.RANKING_CANDIDATES:
+            ranking.push()
+            for term in template.candidate_layer(bound, decrease):
+                ranking.assert_term(term)
+            answer, record = self._solve_query(
+                kind, template.script(bound, decrease), session=ranking
+            )
+            ranking.pop()
+            queries.append(record)
+            if answer == "sat":
+                return AnalysisResult(program, TERMINATING, queries)
+
+        nonterm_template = NonterminationTemplate(program)
+        nonterm = ArbitrageSession(budget=self.budget)
+        for term in nonterm_template.base_assertions:
+            nonterm.assert_term(term)
+        nonterm.push()
+        for term in nonterm_template.magnitude_layer(4):
+            nonterm.assert_term(term)
+        answer, record = self._solve_query(
+            "nontermination-compact",
+            nonterm_template.script(magnitude_bound=4),
+            session=nonterm,
+        )
+        nonterm.pop()
+        queries.append(record)
+        if answer == "sat":
+            return AnalysisResult(program, NONTERMINATING, queries)
+
+        # The unbounded retry re-encodes nothing: popping the magnitude
+        # box just retracted its assumption slice.
+        answer, record = self._solve_query(
+            "nontermination", nonterm_template.script(), session=nonterm
+        )
         queries.append(record)
         if answer == "sat":
             return AnalysisResult(program, NONTERMINATING, queries)

@@ -83,6 +83,123 @@ def _transition_rows(program):
     return rows, variables
 
 
+class RankingTemplate:
+    """The Farkas constraint split into a candidate-independent core and
+    per-candidate layers.
+
+    The multipliers' sign constraints, both column systems, and the
+    boundedness entailment do not depend on ``(coefficient_bound,
+    decrease)``; only the decrease target and the coefficient box do.
+    Splitting them lets the session-mode client assert the core once and
+    push/pop candidate layers, paying analysis, translation, and
+    bit-blasting for the bulk of the constraint a single time across the
+    whole iterative query stream.
+
+    ``script(bound, decrease)`` concatenates core + layer in exactly the
+    order :func:`ranking_constraints` has always produced, so both modes
+    solve literally identical scripts.
+    """
+
+    def __init__(self, program):
+        rows, variables = _transition_rows(program)
+        num_vars = len(variables)
+        width = 2 * num_vars
+
+        self._template = {name: build.IntVar(f"f_{name}") for name in variables}
+        self._template_const = build.IntVar("f_0")
+        self._lambda_bound = [build.IntVar(f"lb_{i}") for i in range(len(rows))]
+        self._lambda_decrease = [
+            build.IntVar(f"ld_{i}") for i in range(len(rows))
+        ]
+
+        assertions = []
+        for multipliers in (self._lambda_bound, self._lambda_decrease):
+            for variable in multipliers:
+                assertions.append(build.Ge(variable, build.IntConst(0)))
+
+        def _sum(terms):
+            terms = [t for t in terms if t is not None]
+            if not terms:
+                return build.IntConst(0)
+            if len(terms) == 1:
+                return terms[0]
+            return build.Add(*terms)
+
+        def _scaled(variable, coefficient):
+            if coefficient == 0:
+                return None
+            if coefficient == 1:
+                return variable
+            return build.Mul(build.IntConst(coefficient), variable)
+
+        # Boundedness: lambda_b A = c1 with c1 = (-f, 0);  lambda_b b <= f0.
+        for column in range(width):
+            lhs = _sum(
+                _scaled(self._lambda_bound[i], row[column])
+                for i, (row, _) in enumerate(rows)
+            )
+            if column < num_vars:
+                target = build.Neg(self._template[variables[column]])
+            else:
+                target = build.IntConst(0)
+            assertions.append(build.Eq(lhs, target))
+        bound_rhs = _sum(
+            _scaled(self._lambda_bound[i], bound)
+            for i, (_, bound) in enumerate(rows)
+        )
+        assertions.append(build.Le(bound_rhs, self._template_const))
+
+        # Decrease columns: lambda_d A = c2 with c2 = (-f, +f). The
+        # right-hand side (lambda_d b <= -decrease) is the candidate
+        # layer's job.
+        for column in range(width):
+            lhs = _sum(
+                _scaled(self._lambda_decrease[i], row[column])
+                for i, (row, _) in enumerate(rows)
+            )
+            name = variables[column % num_vars]
+            target = (
+                build.Neg(self._template[name])
+                if column < num_vars
+                else self._template[name]
+            )
+            assertions.append(build.Eq(lhs, target))
+        self._decrease_rhs = _sum(
+            _scaled(self._lambda_decrease[i], bound)
+            for i, (_, bound) in enumerate(rows)
+        )
+        self.base_assertions = assertions
+
+    def candidate_layer(self, coefficient_bound=None, decrease=1):
+        """The retractable assertions for one candidate query."""
+        assertions = [
+            build.Le(self._decrease_rhs, build.IntConst(-decrease))
+        ]
+        # A trivial all-zero template satisfies nothing (decrease needs
+        # -1), but bounded-coefficient candidate queries mimic Ultimate's
+        # search.
+        if coefficient_bound is not None:
+            for variable in list(self._template.values()) + [self._template_const]:
+                assertions.append(
+                    build.Ge(variable, build.IntConst(-coefficient_bound))
+                )
+                assertions.append(
+                    build.Le(variable, build.IntConst(coefficient_bound))
+                )
+            for variable in self._lambda_bound + self._lambda_decrease:
+                assertions.append(
+                    build.Le(variable, build.IntConst(coefficient_bound))
+                )
+        return assertions
+
+    def script(self, coefficient_bound=None, decrease=1):
+        """The full candidate query as one flat script."""
+        return Script.from_assertions(
+            self.base_assertions + self.candidate_layer(coefficient_bound, decrease),
+            logic="QF_LIA",
+        )
+
+
 def ranking_constraints(program, coefficient_bound=None, decrease=1):
     """Build the Farkas constraint for a linear ranking function.
 
@@ -99,73 +216,7 @@ def ranking_constraints(program, coefficient_bound=None, decrease=1):
         A QF_LIA :class:`Script`, satisfiable iff a (bounded) linear
         ranking function with the requested decrease exists.
     """
-    rows, variables = _transition_rows(program)
-    num_vars = len(variables)
-    width = 2 * num_vars
-
-    template = {name: build.IntVar(f"f_{name}") for name in variables}
-    template_const = build.IntVar("f_0")
-    lambda_bound = [build.IntVar(f"lb_{i}") for i in range(len(rows))]
-    lambda_decrease = [build.IntVar(f"ld_{i}") for i in range(len(rows))]
-
-    assertions = []
-    for multipliers in (lambda_bound, lambda_decrease):
-        for variable in multipliers:
-            assertions.append(build.Ge(variable, build.IntConst(0)))
-
-    def _sum(terms):
-        terms = [t for t in terms if t is not None]
-        if not terms:
-            return build.IntConst(0)
-        if len(terms) == 1:
-            return terms[0]
-        return build.Add(*terms)
-
-    def _scaled(variable, coefficient):
-        if coefficient == 0:
-            return None
-        if coefficient == 1:
-            return variable
-        return build.Mul(build.IntConst(coefficient), variable)
-
-    # Boundedness: lambda_b A = c1 with c1 = (-f, 0);  lambda_b b <= f0.
-    for column in range(width):
-        lhs = _sum(
-            _scaled(lambda_bound[i], row[column]) for i, (row, _) in enumerate(rows)
-        )
-        if column < num_vars:
-            target = build.Neg(template[variables[column]])
-        else:
-            target = build.IntConst(0)
-        assertions.append(build.Eq(lhs, target))
-    bound_rhs = _sum(
-        _scaled(lambda_bound[i], bound) for i, (_, bound) in enumerate(rows)
-    )
-    assertions.append(build.Le(bound_rhs, template_const))
-
-    # Decrease: lambda_d A = c2 with c2 = (-f, +f);  lambda_d b <= -1.
-    for column in range(width):
-        lhs = _sum(
-            _scaled(lambda_decrease[i], row[column]) for i, (row, _) in enumerate(rows)
-        )
-        name = variables[column % num_vars]
-        target = build.Neg(template[name]) if column < num_vars else template[name]
-        assertions.append(build.Eq(lhs, target))
-    decrease_rhs = _sum(
-        _scaled(lambda_decrease[i], bound) for i, (_, bound) in enumerate(rows)
-    )
-    assertions.append(build.Le(decrease_rhs, build.IntConst(-decrease)))
-
-    # A trivial all-zero template satisfies nothing (decrease needs -1),
-    # but bounded-coefficient candidate queries mimic Ultimate's search.
-    if coefficient_bound is not None:
-        for variable in list(template.values()) + [template_const]:
-            assertions.append(build.Ge(variable, build.IntConst(-coefficient_bound)))
-            assertions.append(build.Le(variable, build.IntConst(coefficient_bound)))
-        for variable in lambda_bound + lambda_decrease:
-            assertions.append(build.Le(variable, build.IntConst(coefficient_bound)))
-
-    return Script.from_assertions(assertions, logic="QF_LIA")
+    return RankingTemplate(program).script(coefficient_bound, decrease)
 
 
 def extract_ranking_function(program, model):

@@ -20,6 +20,9 @@ from repro.telemetry.analyze import (
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baselines", "BENCH_smoke.json")
+TERMINATION_BASELINE = os.path.join(
+    REPO_ROOT, "benchmarks", "baselines", "BENCH_termination.json"
+)
 
 
 @pytest.fixture(autouse=True)
@@ -119,6 +122,113 @@ class TestDeterminism:
 
     def test_bench_leaves_telemetry_disabled(self, smoke_payload):
         assert not telemetry.enabled
+
+
+@pytest.fixture(scope="module")
+def termination_payload():
+    """One shared termination-suite run (classic + session lanes)."""
+    return run_suite("termination", timing=False)
+
+
+def _session_pairs(payload):
+    """{program: (classic record, session record)} from a termination run."""
+    cases = payload["deterministic"]["cases"]
+    pairs = {}
+    for name, record in cases.items():
+        if name.startswith("term-session/"):
+            program = name.split("/", 1)[1]
+            pairs[program] = (cases[f"term/{program}"], record)
+    return pairs
+
+
+class TestTerminationSessions:
+    """The session-mode gate: the scoped STAUB lane must do strictly less
+    deterministic work than the classic per-query pipeline and must never
+    downgrade a verdict the classic mode reached."""
+
+    def test_every_program_has_both_lanes(self, termination_payload):
+        pairs = _session_pairs(termination_payload)
+        assert pairs, "no term-session/ cases in the termination suite"
+        classic_only = {
+            name.split("/", 1)[1]
+            for name in termination_payload["deterministic"]["cases"]
+            if name.startswith("term/")
+        }
+        assert set(pairs) == classic_only
+
+    def test_matches_checked_in_baseline(self, termination_payload):
+        baseline = load_artifact(TERMINATION_BASELINE)
+        regressions, _warnings = compare_payloads(termination_payload, baseline)
+        assert regressions == [], (
+            "deterministic drift vs benchmarks/baselines/BENCH_termination.json"
+            " -- if the cost change is intentional, regenerate with `staub"
+            " bench --suite termination --no-wall --out"
+            " benchmarks/baselines/BENCH_termination.json`"
+        )
+
+    def test_verdicts_never_downgraded(self, termination_payload):
+        for program, (classic, session) in _session_pairs(
+            termination_payload
+        ).items():
+            classic_verdict = classic["cold"]["verdict"]
+            session_verdict = session["cold"]["verdict"]
+            assert (
+                session_verdict == classic_verdict
+                or classic_verdict == "unknown"
+            ), (
+                f"{program}: session downgraded {classic_verdict!r} to "
+                f"{session_verdict!r} -- sessions may only upgrade unknowns "
+                "(via verified models), never lose a classic verdict"
+            )
+
+    def test_baseline_lane_unaffected_by_sessions(self, termination_payload):
+        # The baseline lane solves identical flat scripts in both modes,
+        # so whenever the two modes ran the same query stream (equal
+        # verdicts) its cost must match exactly.
+        for program, (classic, session) in _session_pairs(
+            termination_payload
+        ).items():
+            if classic["cold"]["verdict"] == session["cold"]["verdict"]:
+                assert (
+                    session["cold"]["baseline_work"]
+                    == classic["cold"]["baseline_work"]
+                ), program
+                assert session["cold"]["queries"] == classic["cold"]["queries"]
+            else:
+                # An upgrade decides earlier: never more queries.
+                assert session["cold"]["queries"] <= classic["cold"]["queries"]
+
+    def test_session_staub_work_strictly_lower(self, termination_payload):
+        for program, (classic, session) in _session_pairs(
+            termination_payload
+        ).items():
+            assert (
+                session["cold"]["staub_work"] < classic["cold"]["staub_work"]
+            ), (
+                f"{program}: session STAUB lane did not beat the classic "
+                f"per-query pipeline ({session['cold']['staub_work']} >= "
+                f"{classic['cold']['staub_work']})"
+            )
+            assert session["cold"]["work"] <= classic["cold"]["work"], program
+
+    def test_session_fewer_blast_and_transform_spans(self, termination_payload):
+        def spans(record, stage):
+            return record.get("stages", {}).get(stage, {}).get("spans", 0)
+
+        for program, (classic, session) in _session_pairs(
+            termination_payload
+        ).items():
+            assert spans(session, "blast") < spans(classic, "blast"), program
+            assert spans(session, "transform") <= spans(classic, "transform"), (
+                program
+            )
+            combined_session = spans(session, "blast") + spans(
+                session, "transform"
+            )
+            combined_classic = spans(classic, "blast") + spans(
+                classic, "transform"
+            )
+            assert combined_session < combined_classic, program
 
 
 class TestCompare:

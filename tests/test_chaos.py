@@ -216,6 +216,70 @@ class TestCacheHardening:
 # -- solver stack under chaos ------------------------------------------------
 
 
+class TestSessionChaos:
+    """Injected faults mid-session: structured unknown, no cache
+    poisoning, and the session keeps answering once the storm passes."""
+
+    @staticmethod
+    def _session(cache=None):
+        from repro.smtlib import parse_term
+        from repro.smtlib.sorts import bv_sort
+        from repro.solver.session import Session
+
+        decls = {"v": bv_sort(8), "w": bv_sort(8)}
+        session = Session(cache=cache)
+        session.assert_term(parse_term("(= (bvmul v w) (_ bv77 8))", decls))
+        session.assert_term(parse_term("(bvult v w)", decls))
+        return session
+
+    def test_injected_crash_degrades_to_unknown_and_session_survives(self):
+        store = SolveCache()
+        session = self._session(cache=store)
+        chaos.install(ChaosPlan(17, 1.0, kinds={"session.check_sat": ("crash",)}))
+        result = session.check_sat()
+        assert result.status == "unknown"
+        assert result.stats.get("gave_up_reason") == "chaos-crash"
+        assert len(store) == 0  # never poisons the solve cache
+        chaos.uninstall()
+        recovered = session.check_sat()
+        assert recovered.status == "sat"
+        assert len(store) == 1
+
+    def test_injected_budget_exhaustion_mid_session(self):
+        store = SolveCache()
+        session = self._session(cache=store)
+        chaos.install(ChaosPlan(17, 1.0, kinds={"session.check_sat": ("budget",)}))
+        result = session.check_sat()
+        assert result.status == "unknown"
+        assert len(store) == 0
+        chaos.uninstall()
+        assert session.check_sat().status == "sat"
+
+    def test_crash_at_depth_preserves_scope_stack(self):
+        from repro.smtlib import parse_term
+        from repro.smtlib.sorts import bv_sort
+
+        decls = {"v": bv_sort(8), "w": bv_sort(8)}
+        session = self._session()
+        session.push()
+        session.assert_term(parse_term("(bvult w v)", decls))
+        chaos.install(ChaosPlan(3, 1.0, kinds={"session.check_sat": ("crash",)}))
+        assert session.check_sat().status == "unknown"
+        chaos.uninstall()
+        assert session.depth == 1
+        assert session.check_sat().status == "unsat"
+        session.pop()
+        assert session.check_sat().status == "sat"
+
+    def test_fault_free_checks_cached_even_with_plan_installed(self):
+        # A plan at rate 0 never fires: results are untainted and cached.
+        store = SolveCache()
+        chaos.install(ChaosPlan(17, 0.0))
+        session = self._session(cache=store)
+        assert session.check_sat().status == "sat"
+        assert len(store) == 1
+
+
 class TestSolverChaos:
     def test_facade_skips_caching_tainted_results(self):
         chaos.install(ChaosPlan(11, 1.0, kinds={"solver.pre_solve": ("budget",)}))

@@ -213,6 +213,80 @@ class TestFacadeDegradation:
         assert governor.reason == "memory"
 
 
+class TestSessionDegradation:
+    """Resource exhaustion mid-session: structured unknown, the session
+    stays usable, and shaped results never reach the solve cache."""
+
+    @staticmethod
+    def _planted_session(cache=None):
+        from repro.smtlib import parse_term
+        from repro.smtlib.sorts import bv_sort
+        from repro.solver.session import Session
+
+        decls = {"v": bv_sort(8), "w": bv_sort(8)}
+        session = Session(cache=cache)
+        session.assert_term(parse_term("(= (bvmul v w) (_ bv77 8))", decls))
+        session.assert_term(parse_term("(bvult (_ bv1 8) v)", decls))
+        session.assert_term(parse_term("(bvult v w)", decls))
+        return session
+
+    def test_tiny_budget_is_structured_unknown_then_recovers(self):
+        session = self._planted_session()
+        result = session.check_sat(budget=1)
+        assert result.status == "unknown"
+        assert isinstance(result.stats, dict)
+        # Not wedged: the very next check with a real budget answers.
+        assert session.check_sat(budget=None).status == "sat"
+
+    def test_exhausted_checks_never_cached(self):
+        from repro.cache import SolveCache
+
+        store = SolveCache()
+        session = self._planted_session(cache=store)
+        assert session.check_sat(budget=1).status == "unknown"
+        assert len(store) == 0
+        assert session.check_sat().status == "sat"
+        assert len(store) == 1
+        warm = self._planted_session(cache=store)
+        assert warm.check_sat().status == "sat"
+        assert warm.counters["cache_hits"] == 1
+
+    def test_expired_outer_deadline_mid_session(self):
+        session = self._planted_session()
+        governor = ResourceBudget(deadline=Deadline(0))
+        with guard.activate(governor):
+            result = session.check_sat()
+        assert result.status == "unknown"
+        assert result.stats.get("gave_up_reason") == "parent"
+        assert session.check_sat().status == "sat"
+
+    def test_cancelled_outer_governor_mid_session(self):
+        from repro.cache import SolveCache
+
+        store = SolveCache()
+        session = self._planted_session(cache=store)
+        governor = ResourceBudget()
+        governor.cancel()
+        with guard.activate(governor):
+            assert session.check_sat().status == "unknown"
+        assert len(store) == 0
+        assert session.check_sat().status == "sat"
+
+    def test_exhaustion_at_depth_preserves_scope_stack(self):
+        from repro.smtlib import parse_term
+        from repro.smtlib.sorts import bv_sort
+
+        decls = {"v": bv_sort(8), "w": bv_sort(8)}
+        session = self._planted_session()
+        session.push(2)
+        session.assert_term(parse_term("(bvult w (_ bv200 8))", decls))
+        assert session.check_sat(budget=1).status == "unknown"
+        assert session.depth == 2
+        assert session.check_sat().status == "sat"
+        session.pop(2)
+        assert session.check_sat().status == "sat"
+
+
 # -- process hygiene: the parallel race never leaks children ----------------
 
 

@@ -56,11 +56,70 @@ class TestCommands:
 
     def test_unknown_command_rejected(self):
         with pytest.raises(ParseError):
-            parse_script("(push 1)")
+            parse_script("(maximize x)")
 
     def test_nonzero_arity_declare_rejected(self):
         with pytest.raises(ParseError):
             parse_script("(declare-fun f (Int) Int)")
+
+
+class TestSessionCommands:
+    def test_push_pop_parse_with_counts(self):
+        script = parse_script(
+            "(declare-fun x () Int)"
+            "(push 2)(assert (> x 0))(check-sat)(pop 2)(check-sat)"
+        )
+        names = [command.name for command in script.commands]
+        assert names == [
+            "declare-fun", "push", "assert", "check-sat", "pop", "check-sat",
+        ]
+        push = script.commands[1]
+        pop = script.commands[4]
+        assert push.args[0] == 2
+        assert pop.args[0] == 2
+        assert script.is_incremental
+
+    def test_push_pop_default_count_is_one(self):
+        script = parse_script("(push)(pop)")
+        assert script.commands[0].args[0] == 1
+        assert script.commands[1].args[0] == 1
+
+    def test_reset_assertions_parses(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 0))(reset-assertions)(check-sat)"
+        )
+        assert any(c.name == "reset-assertions" for c in script.commands)
+        assert script.is_incremental
+
+    def test_pop_below_zero_is_structured_parse_error(self):
+        with pytest.raises(ParseError, match="below assertion stack depth"):
+            parse_script("(push 1)(pop 2)")
+
+    def test_pop_without_push_is_structured_parse_error(self):
+        with pytest.raises(ParseError, match="below assertion stack depth"):
+            parse_script("(declare-fun x () Int)(assert (> x 0))(pop)")
+
+    def test_pop_after_reset_assertions_rejected(self):
+        # reset-assertions empties the stack: a later pop has nothing to pop.
+        with pytest.raises(ParseError, match="below assertion stack depth"):
+            parse_script("(push 3)(reset-assertions)(pop 1)")
+
+    def test_push_takes_a_numeral(self):
+        with pytest.raises(ParseError, match="numeral"):
+            parse_script("(push x)")
+
+    def test_declarations_survive_pop(self):
+        script = parse_script(
+            "(push 1)(declare-fun x () Int)(pop 1)(assert (> x 0))(check-sat)"
+        )
+        assert "x" in script.declarations
+
+    def test_multiple_check_sat_is_incremental(self):
+        script = parse_script(
+            "(declare-fun x () Int)(assert (> x 0))(check-sat)(check-sat)"
+        )
+        assert script.is_incremental
+        assert script.check_sat_count() == 2
 
 
 class TestSorts:

@@ -145,3 +145,44 @@ class TestRoundTrip:
         reparsed = parse_script(print_script(script))
         assert reparsed.assertions == script.assertions
         assert reparsed.declarations == script.declarations
+
+    def test_incremental_script_roundtrip_preserves_command_stream(self):
+        source = (
+            "(set-logic QF_LIA)\n"
+            "(declare-fun x () Int)\n"
+            "(assert (> x 0))\n"
+            "(check-sat)\n"
+            "(push 1)\n"
+            "(assert (< x 0))\n"
+            "(check-sat)\n"
+            "(pop 1)\n"
+            "(push 2)\n"
+            "(assert (= x 7))\n"
+            "(check-sat)\n"
+            "(pop 2)\n"
+            "(reset-assertions)\n"
+            "(check-sat)\n"
+        )
+        script = parse_script(source)
+        printed = print_script(script)
+        reparsed = parse_script(printed)
+        assert [c.name for c in reparsed.commands] == [
+            c.name for c in script.commands
+        ]
+        for mine, theirs in zip(script.commands, reparsed.commands):
+            if mine.name in ("push", "pop"):
+                assert mine.args[0] == theirs.args[0]
+            elif mine.name == "assert":
+                assert mine.args[0] is theirs.args[0]
+        # The printed form is a fixed point: print(parse(print(s))) == print(s).
+        assert print_script(reparsed) == printed
+
+    def test_incremental_roundtrip_keeps_declarations_and_logic(self):
+        source = (
+            "(push 1)(declare-fun b () Bool)(assert b)(check-sat)(pop 1)"
+            "(check-sat)"
+        )
+        script = parse_script(source)
+        reparsed = parse_script(print_script(script))
+        assert reparsed.declarations == script.declarations
+        assert reparsed.logic == script.logic

@@ -127,6 +127,22 @@ class TestPermanentUnsat:
         solver.add_clause([-1])
         assert not solver.add_clause([1])
 
+    def test_dead_solver_answers_without_search_work(self):
+        # Regression: a permanently root-UNSAT solver used to re-enter
+        # the search loop on every call. Post-death solves must be pure
+        # lookups -- deterministic UNSAT, empty core, zero new counters --
+        # so a session whose hard clauses died keeps answering its
+        # remaining checks for free.
+        solver = SatSolver(2)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.okay()
+        before = solver.stats.as_dict()
+        for assumptions in ((), [2], [-2], [2, -2]):
+            assert solver.solve(assumptions=assumptions) == UNSAT
+            assert solver.final_conflict() == []
+        assert solver.stats.as_dict() == before
+
 
 class TestLearnedClauseRetention:
     def _pigeonhole(self, holes):
