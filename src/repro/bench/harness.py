@@ -122,13 +122,24 @@ def run_suite(suite, repeats=3, timing=True, progress=None):
         cache = SolveCache(max_entries=None)
         cold, counters, stages = _run_instrumented(case, cache)
         hits_after_cold = cache.hits
-        warm, warm_counters, _warm_stages = _run_instrumented(case, cache)
+        core_hits_after_cold = cache.core_hits
+        cores_after_cold = cache.stats()["cores"]
+        warm, warm_counters, warm_stages = _run_instrumented(case, cache)
         record = {
             "kind": case.kind,
             "cold": cold,
+            "cores_stored": cores_after_cold,
             "warm": {
                 "outcome": warm,
                 "cache_hits": cache.hits - hits_after_cold,
+                # Unsat queries the warm rerun answered by core
+                # subsumption instead of solving (the CI core-reuse job
+                # gates that this is nonzero and deterministic on the
+                # termination suite).
+                "core_hits": cache.core_hits - core_hits_after_cold,
+                "bounded_solve_spans": warm_stages.get("bounded-solve", {}).get(
+                    "spans", 0
+                ),
             },
             "counters": counters,
             "stages": stages,

@@ -131,6 +131,89 @@ def solve_bounded_script(script, max_work=None, max_conflicts=None):
     )
 
 
+def extract_assertion_core(script, max_work=None, max_conflicts=None):
+    """Assertion-level unsat core of a bounded script, or None.
+
+    Re-blasts the script with every top-level assertion tagged by its
+    Tseitin output literal and solves under those literals as SAT
+    *assumptions* (instead of hard unit clauses), then maps the failing
+    assumption subset from :meth:`SatSolver.final_conflict` back to
+    assertion indices. This is a secondary extraction solve: the primary
+    :func:`solve_bounded_script` result is untouched, so verdicts, models
+    and work accounting stay byte-identical with extraction on or off.
+
+    Returns a sorted tuple of assertion indices, or None when the script
+    is not bounded, not unsat within the budget, or the conflict is at
+    root level (dead solver / contradictory definitional clauses) --
+    a root conflict has no attributable assertion subset, and lifting it
+    to an empty core would subsume every future query.
+    """
+    if not script.assertions:
+        return None
+    for sort in script.declarations.values():
+        if not (sort.is_bool or sort.is_bv):
+            return None
+    if guard.active().interrupted("bv"):
+        return None
+    with telemetry.span("core-extract") as span:
+        blaster = BitBlaster()
+        owners = {}
+        assumptions = []
+        for index, assertion in enumerate(script.assertions):
+            literal = blaster.blast_bool(assertion)
+            if literal not in owners:
+                assumptions.append(literal)
+                owners[literal] = []
+            owners[literal].append(index)
+        blast_work = BLAST_WORK_PER_CLAUSE * len(blaster.cnf.clauses)
+        span.add_work(blast_work)
+        solver = SatSolver(blaster.cnf.num_vars)
+        for clause in blaster.cnf.clauses:
+            if not solver.add_clause(clause):
+                # Definitional clauses alone are contradictory: a root-
+                # level conflict, not attributable to any assertion.
+                span.set_attr("status", "root-conflict")
+                return None
+        sat_budget = None
+        if max_work is not None:
+            sat_budget = max(0, max_work - blast_work)
+        status = solver.solve(
+            assumptions=assumptions,
+            max_work=sat_budget,
+            max_conflicts=max_conflicts,
+        )
+        span.add_work(solver.stats.work())
+        span.set_attr("status", status)
+        if status != UNSAT:
+            return None
+        # final_conflict() holds the *negations* of the failing
+        # assumption literals; an empty conflict is the dead-solver
+        # root-UNSAT fast path and must never become a core.
+        failed = set(solver.final_conflict())
+        if not failed:
+            span.set_attr("status", "root-conflict")
+            return None
+        indices = sorted(
+            index
+            for literal, owned in owners.items()
+            if -literal in failed
+            for index in owned
+        )
+        if not indices:
+            return None
+        return tuple(indices)
+
+
+def assertion_core_digests(script, max_work=None):
+    """Canonical digest set of the script's assertion-level core, or None."""
+    indices = extract_assertion_core(script, max_work=max_work)
+    if not indices:
+        return None
+    from repro.cache.keys import assertion_digest
+
+    return frozenset(assertion_digest(script.assertions[i]) for i in indices)
+
+
 class RefinementRound:
     """Outcome of one incremental solve-at-width round.
 

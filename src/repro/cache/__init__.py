@@ -14,8 +14,16 @@ need to install a store to memoize every top-level solve.
 
 from contextlib import contextmanager
 
-from repro.cache.keys import CanonicalOrder, cache_key, canonical_text, normalize_assertions
+from repro.cache.keys import (
+    CanonicalOrder,
+    assertion_digest,
+    cache_key,
+    canonical_text,
+    normalize_assertions,
+    script_digests,
+)
 from repro.cache.store import (
+    DEFAULT_MAX_CORES,
     DEFAULT_MAX_ENTRIES,
     SolveCache,
     decode_model,
@@ -26,9 +34,11 @@ from repro.cache.store import (
 
 __all__ = [
     "CanonicalOrder",
+    "DEFAULT_MAX_CORES",
     "DEFAULT_MAX_ENTRIES",
     "SolveCache",
     "activated",
+    "assertion_digest",
     "cache_key",
     "canonical_text",
     "decode_model",
@@ -37,6 +47,7 @@ __all__ = [
     "get_cache",
     "normalize_assertions",
     "result_from_entry",
+    "script_digests",
     "set_cache",
 ]
 

@@ -83,6 +83,53 @@ def canonical_text(script):
     return "\n".join(lines) + "\n"
 
 
+#: Memo for :func:`assertion_digest`, keyed by term identity. Terms are
+#: hash-consed process-wide, so a tid never maps to two different terms;
+#: the cap only bounds memory on very long-running processes.
+_DIGEST_MEMO = {}
+_DIGEST_MEMO_LIMIT = 1 << 16
+
+
+def assertion_digest(term):
+    """Canonical content digest of one assertion.
+
+    The digest covers the *canonicalized* printed form of the term (the
+    same :class:`CanonicalOrder` normalization the whole-script key uses)
+    plus the sorts of every variable the term mentions. Two assertions
+    share a digest iff they are the same constraint over identically
+    sorted variables -- which is exactly the equivalence unsat-core
+    subsumption needs: a cached core whose digests all appear in a new
+    query's digest set is a genuine subset of the new conjunction, so the
+    new script is unsat too. Comparing digests (never raw text) keeps the
+    subset check canonical under argument permutation and duplicate
+    assertions.
+    """
+    cached = _DIGEST_MEMO.get(term.tid)
+    if cached is not None:
+        return cached
+    canonical = CanonicalOrder()
+    rewritten = map_terms([term], canonical.rewrite)[0]
+    variables = term.variables()
+    sorts = ",".join(
+        f"{name}:{variables[name].sort.name}" for name in sorted(variables)
+    )
+    payload = f"{print_term(rewritten)}|{sorts}"
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+    if len(_DIGEST_MEMO) >= _DIGEST_MEMO_LIMIT:
+        _DIGEST_MEMO.clear()
+    _DIGEST_MEMO[term.tid] = digest
+    return digest
+
+
+def script_digests(script):
+    """The script's assertion set as a frozenset of canonical digests.
+
+    Duplicate assertions collapse (a set is what subsumption compares),
+    matching the de-duplication :func:`canonical_text` applies.
+    """
+    return frozenset(assertion_digest(term) for term in script.assertions)
+
+
 def cache_key(script, profile=None, budget=None, kind="solve", extra=None):
     """A stable hex digest identifying one (script, parameters) solve.
 

@@ -32,9 +32,13 @@ from repro.smtlib.values import BVValue
 #: Default in-memory entry bound; old entries are evicted LRU-first.
 DEFAULT_MAX_ENTRIES = 4096
 
-#: Version 2 adds per-entry checksums; version-1 files still load.
-_FORMAT_VERSION = 2
-_ACCEPTED_VERSIONS = (1, 2)
+#: Default bound on stored unsat cores (evicted oldest-first).
+DEFAULT_MAX_CORES = 4096
+
+#: Version 2 adds per-entry checksums; version 3 adds the unsat-core
+#: section (with its own checksum). Older files still load.
+_FORMAT_VERSION = 3
+_ACCEPTED_VERSIONS = (1, 2, 3)
 
 
 def _entry_checksum(entry):
@@ -195,20 +199,45 @@ def report_from_entry(entry):
 class SolveCache:
     """Bounded LRU cache of solve entries, optionally backed by a file.
 
+    Besides whole-key entries the store keeps *unsat cores*: canonical
+    per-assertion digest sets proven unsatisfiable. A whole-key miss can
+    still be answered ``unsat`` when some stored core is a subset of the
+    query's digest set (Cache-a-lot style subsumption; see
+    :meth:`find_core`).
+
     Args:
         path: JSON file to load from (if it exists) and :meth:`save` to.
         max_entries: in-memory bound; ``None`` means unbounded.
+        max_cores: bound on stored unsat cores; ``None`` means unbounded.
+        core_reuse: when False, :meth:`add_core` and :meth:`find_core`
+            are no-ops -- the differential suites use this to get a
+            reuse-disabled oracle with otherwise identical caching.
     """
 
-    def __init__(self, path=None, max_entries=DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        path=None,
+        max_entries=DEFAULT_MAX_ENTRIES,
+        max_cores=DEFAULT_MAX_CORES,
+        core_reuse=True,
+    ):
         self.path = os.fspath(path) if path is not None else None
         self.max_entries = max_entries
+        self.max_cores = max_cores
+        self.core_reuse = core_reuse
         self._entries = OrderedDict()
+        self._kinds = {}
+        self._cores = OrderedDict()  # core id -> frozenset of digests
+        self._core_index = {}  # min digest -> [core id, ...]
+        self._core_seen = set()  # the digest frozensets themselves
+        self._next_core_id = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.quarantined = 0
-        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0}
+        self.core_hits = 0
+        self.cores_stored = 0
+        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0, "core_hits": 0}
         if self.path is not None and os.path.exists(self.path):
             try:
                 self._load()
@@ -234,36 +263,156 @@ class SolveCache:
         return entry
 
     def put(self, key, entry, kind="solve"):
-        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        """Insert (or refresh) an entry, evicting LRU past the bound.
+
+        Evictions are attributed to the *victim* entry's kind, not the
+        kind being inserted -- the two differ whenever a fresh solve
+        entry pushes out an old arbitrage record, and the eviction
+        telemetry must report what was dropped.
+        """
         self._entries[key] = entry
+        self._kinds[key] = kind
         self._entries.move_to_end(key)
         while self.max_entries is not None and len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            victim, _ = self._entries.popitem(last=False)
+            victim_kind = self._kinds.pop(victim, "solve")
             self.evictions += 1
-            telemetry.counter_add("cache.eviction", kind=kind)
+            telemetry.counter_add("cache.eviction", kind=victim_kind)
 
     def clear(self):
+        """Drop every entry and core, roll counters, persist if backed.
+
+        Session counters are rolled into the lifetime totals (a clear is
+        an event in the store's history, not amnesia about it), and when
+        the store has a path the emptied state is written atomically --
+        otherwise a later :meth:`save` would resurrect the cleared
+        entries from the old file.
+        """
+        for field in self._lifetime:
+            self._lifetime[field] += getattr(self, field)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.core_hits = 0
+        self.cores_stored = 0
         self._entries.clear()
+        self._kinds.clear()
+        self._cores.clear()
+        self._core_index.clear()
+        self._core_seen.clear()
+        if self.path is not None:
+            self.save()
 
     def stats(self):
         """Session and lifetime counters plus the current entry count."""
         return {
             "entries": len(self._entries),
+            "cores": len(self._cores),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "quarantined": self.quarantined,
+            "core_hits": self.core_hits,
+            "cores_stored": self.cores_stored,
             "lifetime_hits": self._lifetime["hits"] + self.hits,
             "lifetime_misses": self._lifetime["misses"] + self.misses,
             "lifetime_evictions": self._lifetime["evictions"] + self.evictions,
+            "lifetime_core_hits": self._lifetime["core_hits"] + self.core_hits,
         }
+
+    # -- unsat-core subsumption (Cache-a-lot) ------------------------------
+
+    def has_cores(self):
+        """True when at least one unsat core is stored (cheap pre-check)."""
+        return bool(self._cores)
+
+    def add_core(self, digests, kind="solve"):
+        """Store an unsat core as a frozenset of canonical digests.
+
+        Guards (soundness first): an empty core is rejected outright --
+        it would subsume *every* future query -- and callers must never
+        pass cores from chaos-tainted or budget-truncated results. A
+        core equal to or subsumed by an already-stored core is redundant
+        (the stored one answers at least as many queries) and skipped.
+
+        Returns True iff the core was stored.
+        """
+        if not self.core_reuse:
+            return False
+        digests = frozenset(digests)
+        if not digests:
+            telemetry.counter_add("cache.core_rejected", reason="empty")
+            return False
+        if digests in self._core_seen:
+            return False
+        if self._subsuming_core(digests) is not None:
+            telemetry.counter_add("cache.core_rejected", reason="redundant")
+            return False
+        core_id = self._next_core_id
+        self._next_core_id += 1
+        self._cores[core_id] = digests
+        self._core_seen.add(digests)
+        self._core_index.setdefault(min(digests), []).append(core_id)
+        self.cores_stored += 1
+        telemetry.counter_add("cache.core_stored", kind=kind)
+        while self.max_cores is not None and len(self._cores) > self.max_cores:
+            victim_id, victim = self._cores.popitem(last=False)
+            self._core_seen.discard(victim)
+            bucket = self._core_index.get(min(victim))
+            if bucket is not None:
+                bucket.remove(victim_id)
+                if not bucket:
+                    del self._core_index[min(victim)]
+            telemetry.counter_add("cache.core_eviction")
+        return True
+
+    def _subsuming_core(self, digests):
+        """Some stored core that is a subset of ``digests``, or None.
+
+        Lookup is *indexed*, not a linear scan: every core is filed
+        under its minimum digest, and a core can only be a subset of the
+        query if that representative digest appears in the query -- so
+        only the buckets of the query's own digests are examined.
+        Iteration is over the sorted query digests (then insertion order
+        within a bucket), so the answer is deterministic.
+        """
+        if not self._cores:
+            return None
+        for digest in sorted(digests):
+            for core_id in self._core_index.get(digest, ()):
+                core = self._cores[core_id]
+                if core <= digests:
+                    return core
+        return None
+
+    def find_core(self, digests, kind="solve"):
+        """Answer a query by core subsumption.
+
+        Returns a stored core whose digest set is a subset of the
+        query's ``digests`` (proving the query unsat with zero solving),
+        or None. Hits count ``cache.core_hit``; there is deliberately no
+        miss counter -- every whole-key miss already counts
+        ``cache.miss``.
+        """
+        if not self.core_reuse or not self._cores:
+            return None
+        core = self._subsuming_core(frozenset(digests))
+        if core is None:
+            return None
+        self.core_hits += 1
+        telemetry.counter_add("cache.core_hit", kind=kind)
+        return core
 
     # -- persistence -------------------------------------------------------
 
     def _quarantine_file(self):
         """Move an unreadable cache file aside and start empty."""
         self._entries.clear()
-        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0}
+        self._kinds.clear()
+        self._cores.clear()
+        self._core_index.clear()
+        self._core_seen.clear()
+        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0, "core_hits": 0}
         quarantine = f"{self.path}.corrupt"
         try:
             os.replace(self.path, quarantine)
@@ -303,9 +452,33 @@ class SolveCache:
                     telemetry.counter_add("cache.quarantined", reason="checksum")
         else:
             self._entries.update(entries)
+        for key, entry in self._entries.items():
+            if isinstance(entry, dict):
+                self._kinds[key] = entry.get("kind", "solve")
+        if version >= 3:
+            # Cores carry their own checksum: a garbled core section is
+            # dropped wholesale (a missing core is only a missed
+            # shortcut; a corrupted one could be unsound).
+            cores = payload.get("cores") or []
+            if cores and _entry_checksum(cores) != payload.get("cores_checksum"):
+                self.quarantined += 1
+                telemetry.counter_add("cache.quarantined", reason="cores")
+            else:
+                for digests in cores:
+                    self._install_core(frozenset(digests))
         stored = payload.get("stats", {})
         for field in self._lifetime:
             self._lifetime[field] = int(stored.get(field, 0))
+
+    def _install_core(self, digests):
+        """Silently re-index one persisted core (guards, no telemetry)."""
+        if not digests or digests in self._core_seen:
+            return
+        core_id = self._next_core_id
+        self._next_core_id += 1
+        self._cores[core_id] = digests
+        self._core_seen.add(digests)
+        self._core_index.setdefault(min(digests), []).append(core_id)
 
     def save(self, path=None):
         """Atomically write all entries (and lifetime stats) to the file.
@@ -319,17 +492,21 @@ class SolveCache:
             raise ValueError("SolveCache has no path to save to")
         stats = self.stats()
         entries = dict(self._entries)
+        cores = [sorted(digests) for digests in self._cores.values()]
         payload = {
             "version": _FORMAT_VERSION,
             "stats": {
                 "hits": stats["lifetime_hits"],
                 "misses": stats["lifetime_misses"],
                 "evictions": stats["lifetime_evictions"],
+                "core_hits": stats["lifetime_core_hits"],
             },
             "entries": entries,
             "checksums": {
                 key: _entry_checksum(entry) for key, entry in entries.items()
             },
+            "cores": cores,
+            "cores_checksum": _entry_checksum(cores),
         }
         text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
         fault = chaos.inject("cache.persist", salt=str(target))

@@ -175,17 +175,25 @@ def _cmd_cache_stats(args):
     stats = cache.stats()
     print(f"cache: {args.path}")
     print(f"  entries = {stats['entries']}")
-    for field in ("hits", "misses", "evictions"):
-        print(f"  lifetime {field} = {stats[f'lifetime_{field}']}")
+    print(f"  cores = {stats['cores']}")
+    for field in ("hits", "misses", "evictions", "core_hits"):
+        label = field.replace("_", " ")
+        print(f"  lifetime {label} = {stats[f'lifetime_{field}']}")
+    misses = stats["lifetime_misses"]
+    if misses:
+        rate = stats["lifetime_core_hits"] / misses
+        print(f"  core-hit rate = {rate:.1%} of misses")
     return 0
 
 
 def _cmd_cache_clear(args):
     cache = SolveCache(path=args.path)
     entries = len(cache)
+    cores = cache.stats()["cores"]
+    # clear() rolls session counters into lifetime and persists the
+    # emptied store atomically itself (the store has a path).
     cache.clear()
-    cache.save()
-    print(f"cleared {entries} entries from {args.path}")
+    print(f"cleared {entries} entries and {cores} cores from {args.path}")
     return 0
 
 

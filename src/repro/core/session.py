@@ -36,7 +36,11 @@ translation work this check actually did.
 """
 
 from repro import telemetry
+from repro import cache as solve_cache
+from repro.cache.keys import assertion_digest
 from repro.core.absint import IntWidthDomain, int_width
+from repro.guard import chaos
+from repro.telemetry.stats import unified_stats
 from repro.core.correspondence import INT_TO_BITVECTOR
 from repro.core.inference import BoundInference, _analyze_term
 from repro.core.pipeline import (
@@ -153,12 +157,14 @@ class ArbitrageSession:
         self._width = width_hint or 0
         self._backend = None
         self._slices = {}  # (tid, width) -> tuple of bounded terms
+        self._digest_memo = {}  # bounded-term tid -> canonical digest
         self._last_live = None  # tids live at the previous check
         self.counters = {
             "checks": 0,
             "rewiden": 0,
             "reinferred": 0,
             "rescued": 0,
+            "core_hits": 0,
         }
 
     # -- scope stack -------------------------------------------------------
@@ -219,6 +225,12 @@ class ArbitrageSession:
         return script
 
     # -- the scoped pipeline ----------------------------------------------
+
+    def _digest(self, term):
+        digest = self._digest_memo.get(term.tid)
+        if digest is None:
+            digest = self._digest_memo[term.tid] = assertion_digest(term)
+        return digest
 
     def check(self, budget=None):
         """Run the arbitrage pipeline on the live stack.
@@ -300,6 +312,36 @@ class ArbitrageSession:
         }
         remaining = None if budget is None else max(1, budget - t_trans)
 
+        store = solve_cache.get_cache()
+        slice_digests = None
+        if store is not None and store.has_cores():
+            slice_digests = frozenset(
+                self._digest(term)
+                for bounded_scope in scope_slices
+                for term in bounded_scope
+            )
+            if slice_digests and store.find_core(
+                slice_digests, kind="arbitrage-session"
+            ) is not None:
+                # Subsumption over the *flattened* slice digests: a core
+                # learned under any scope chain (or by the scratch
+                # pipeline at this width) answers this stack unsat with
+                # zero solver work -- the bounded-solve span never opens
+                # and the warm backend is left untouched.
+                self.counters["core_hits"] += 1
+                telemetry.counter_add("session.core_hit")
+                stats = unified_stats(core_reuse=True)
+                stats["width"] = width
+                return ArbitrageReport(
+                    CASE_BOUNDED_UNSAT,
+                    t_trans=t_trans,
+                    t_post=0,
+                    width=width,
+                    inference=inference,
+                    bounded_status=UNSAT,
+                    stats=stats,
+                )
+
         # Retraction-only checks (the live stack is a strict subset of
         # the previous check's -- e.g. pop the compact-argument box and
         # re-check unbounded) are where a warm backend can *hurt*: saved
@@ -307,6 +349,8 @@ class ArbitrageSession:
         # can point the search away from the newly opened region. Split
         # the budget: the warm backend gets half, and if it comes back
         # unknown a fresh encoding gets the rest.
+        plan = chaos.active()
+        injected_before = plan.total_injected if plan is not None else 0
         live = frozenset(
             term.tid for scope in self._scopes for term in scope
         )
@@ -347,6 +391,17 @@ class ArbitrageSession:
         )
 
         if bounded.status == UNSAT:
+            if (
+                store is not None
+                and store.core_reuse
+                and (plan is None or plan.total_injected == injected_before)
+            ):
+                core_terms = self._backend.last_core_terms
+                if core_terms:
+                    store.add_core(
+                        frozenset(self._digest(term) for term in core_terms),
+                        kind="arbitrage-session",
+                    )
             return ArbitrageReport(CASE_BOUNDED_UNSAT, **common)
         if bounded.status != SAT:
             return ArbitrageReport(CASE_BOUNDED_UNKNOWN, **common)

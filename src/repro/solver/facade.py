@@ -18,8 +18,8 @@ with ``result.cached`` set.
 
 from repro import cache as solve_cache
 from repro import guard, telemetry
-from repro.bv.solver import solve_bounded_script
-from repro.cache.keys import cache_key
+from repro.bv.solver import assertion_core_digests, solve_bounded_script
+from repro.cache.keys import cache_key, script_digests
 from repro.cache.store import entry_from_result, result_from_entry
 from repro.errors import BudgetExceeded, UnsupportedLogicError
 from repro.guard import chaos
@@ -75,8 +75,24 @@ def solve_script(script, budget=None, profile="zorro", cache=None, governor=None
         with telemetry.span("cache-lookup", profile=profile.name) as span:
             entry = store.get(key)
             span.set_attr("hit", entry is not None)
+            core = None
+            if entry is None and store.has_cores() and script.assertions:
+                # Whole-key miss: a cached unsat core that is a subset of
+                # this script's assertion set still proves it unsat with
+                # zero solving (Cache-a-lot subsumption).
+                core = store.find_core(script_digests(script))
+                span.set_attr("core_hit", core is not None)
         if entry is not None:
             return result_from_entry(entry)
+        if core is not None:
+            return SolveResult(
+                UNSAT,
+                None,
+                0,
+                engine="core-reuse",
+                stats=unified_stats(core_reuse=True),
+                cached=True,
+            )
 
     plan = chaos.active()
     injected_before = plan.total_injected if plan is not None else 0
@@ -100,6 +116,15 @@ def solve_script(script, budget=None, profile="zorro", cache=None, governor=None
             store.put(key, entry_from_result(result))
         except TypeError:
             pass  # model value with no JSON encoding: don't cache it
+        if (
+            result.status == UNSAT
+            and store.core_reuse
+            and script.assertions
+            and _bounded_logic(script)
+        ):
+            digests = assertion_core_digests(script, max_work=budget)
+            if digests is not None:
+                store.add_core(digests)
     return result
 
 

@@ -38,7 +38,7 @@ from repro import cache as solve_cache
 from repro import guard, telemetry
 from repro.bv.bitblast import BitBlaster
 from repro.bv.solver import BLAST_WORK_PER_CLAUSE
-from repro.cache.keys import ScopeKeyChain
+from repro.cache.keys import ScopeKeyChain, assertion_digest
 from repro.cache.store import entry_from_result, result_from_entry
 from repro.errors import (
     BudgetExceeded,
@@ -73,6 +73,12 @@ class _BoundedBackend:
         self._root_unsat = False
         self._literals = {}  # term tid -> assumption literal
         self.checks = 0
+        #: After an assumption-driven UNSAT check: the live terms whose
+        #: assumption literals appear in the final conflict (the
+        #: assertion-level unsat core). None after any other outcome --
+        #: in particular after the *root*-UNSAT fast path, whose empty
+        #: conflict has no attributable assertion subset.
+        self.last_core_terms = None
 
     @property
     def permanently_unsat(self):
@@ -107,6 +113,7 @@ class _BoundedBackend:
                 raise UnsupportedLogicError(
                     f"bounded session cannot handle variable {name} of sort {sort}"
                 )
+        self.last_core_terms = None
         if guard.active().interrupted("session"):
             return SolveResult(
                 UNKNOWN, None, 0, engine="bv-session", stats=unified_stats()
@@ -114,6 +121,7 @@ class _BoundedBackend:
         self.checks += 1
         clauses_before = len(self.blaster.cnf.clauses)
         assumptions = []
+        owners = {}  # assumption literal -> live terms it stands for
         seen = set()
         for scope in scopes:
             for term in scope:
@@ -121,6 +129,7 @@ class _BoundedBackend:
                 if literal not in seen:
                     seen.add(literal)
                     assumptions.append(literal)
+                owners.setdefault(literal, []).append(term)
         new_clauses = len(self.blaster.cnf.clauses) - clauses_before
         blast_work = BLAST_WORK_PER_CLAUSE * new_clauses
         if new_clauses:
@@ -149,6 +158,18 @@ class _BoundedBackend:
             sync_work = self.solver.work() - base_work
             sat_budget = max(0, budget - blast_work - sync_work)
         status = self.solver.solve(assumptions=assumptions, max_work=sat_budget)
+        if status == UNSAT:
+            # final_conflict() holds the negations of the failing
+            # assumption literals; an empty conflict (root-level UNSAT
+            # discovered during this search) yields no core.
+            failed = set(self.solver.final_conflict())
+            core = tuple(
+                term
+                for literal in assumptions
+                if -literal in failed
+                for term in owners[literal]
+            )
+            self.last_core_terms = core or None
         model = None
         if status == SAT:
             sat_model = self.solver.model()
@@ -203,12 +224,14 @@ class Session:
         self._scopes = [[]]
         self._chain = ScopeKeyChain()
         self._backend = None
+        self._digest_memo = {}  # term tid -> canonical assertion digest
         self.counters = {
             "push": 0,
             "pop": 0,
             "reset": 0,
             "check_sat": 0,
             "cache_hits": 0,
+            "core_hits": 0,
             "backend_checks": 0,
             "fallback_checks": 0,
             "work": 0,
@@ -321,16 +344,51 @@ class Session:
                 self.counters["cache_hits"] += 1
                 telemetry.counter_add("session.cache_hit")
                 return result_from_entry(entry)
+            if store.has_cores():
+                # Scope-prefix miss: subsumption works on the *flattened*
+                # digest set, so a core learned under any scope chain (or
+                # from a flat script) can still answer this stack.
+                digests = self._live_digests()
+                if digests and store.find_core(digests, kind="session") is not None:
+                    self.counters["core_hits"] += 1
+                    telemetry.counter_add("session.core_hit")
+                    return SolveResult(
+                        UNSAT,
+                        None,
+                        0,
+                        engine="core-reuse",
+                        stats=unified_stats(core_reuse=True),
+                        cached=True,
+                    )
 
         result, tainted = self._check_bounded(budget)
         self.counters["backend_checks"] += 1
         self.counters["work"] += result.work
         if store is not None and result.status != UNKNOWN and not tainted:
             try:
-                store.put(key, entry_from_result(result))
+                store.put(key, entry_from_result(result), kind="session")
             except TypeError:
                 pass  # model value with no JSON encoding: don't cache it
+            if result.status == UNSAT and self._backend is not None:
+                core_terms = self._backend.last_core_terms
+                if core_terms:
+                    store.add_core(
+                        frozenset(self._digest(term) for term in core_terms),
+                        kind="session",
+                    )
         return result
+
+    def _digest(self, term):
+        digest = self._digest_memo.get(term.tid)
+        if digest is None:
+            digest = self._digest_memo[term.tid] = assertion_digest(term)
+        return digest
+
+    def _live_digests(self):
+        """Canonical digest set of the flattened live assertion stack."""
+        return frozenset(
+            self._digest(term) for scope in self._scopes for term in scope
+        )
 
     def _check_bounded(self, budget):
         """One check on the persistent backend, inside a fresh governor.
