@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""CI drill for ``staub serve``: cold / warm / chaos, end to end.
+
+Starts the real server as a subprocess (NDJSON on stdio), drives a mixed
+multi-tenant request stream, and asserts the service contract:
+
+- **cold**: every request is answered, verdicts match fault-free
+  in-process solves (the same parity ``staub solve`` would print), the
+  shutdown is acknowledged, and the server exits 0 with no orphaned
+  worker processes.
+- **warm**: a second server over the same sharded cache directory
+  answers every solve from the cache (``cached: true``), same verdicts.
+- **chaos**: under an injected fault mix (``--chaos seed:rate``) with
+  worker processes, every request still terminates with either the
+  fault-free verdict or a structured ``unknown`` carrying a reason --
+  never a hang, a traceback, or a missing response -- and the sharded
+  store is still loadable afterwards.
+
+Exits nonzero with a one-line diagnosis on the first violated invariant.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+SUITE = {
+    "nia-sat": (
+        "(set-logic QF_NIA)"
+        "(declare-fun x () Int)(declare-fun y () Int)"
+        "(assert (= (* x y) 77))(assert (> x 1))(assert (< x y))"
+        "(check-sat)"
+    ),
+    "lia-unsat": (
+        "(set-logic QF_LIA)(declare-fun x () Int)"
+        "(assert (> x 5))(assert (< x 3))(check-sat)"
+    ),
+    "lia-sat": (
+        "(set-logic QF_LIA)(declare-fun a () Int)"
+        "(assert (> a 10))(assert (< a 13))(check-sat)"
+    ),
+    "bv-sat": (
+        "(declare-fun v () (_ BitVec 8))"
+        "(assert (= (bvmul v (_ bv4 8)) (_ bv20 8)))(check-sat)"
+    ),
+}
+
+TENANTS = ("acme", "umbra", "zephyr")
+
+
+def fail(message):
+    print(f"service_drill: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def baseline_verdicts():
+    """Fault-free serial verdicts, straight through the library."""
+    from repro.smtlib import parse_script
+    from repro.solver import solve_script
+
+    return {
+        name: solve_script(parse_script(text)).status
+        for name, text in SUITE.items()
+    }
+
+
+def traffic(rounds=2):
+    """The mixed multi-tenant request stream (deterministic order)."""
+    requests = []
+    names = sorted(SUITE)
+    index = 0
+    for _ in range(rounds):
+        for name in names:
+            requests.append(
+                {
+                    "op": "solve",
+                    "id": index,
+                    "tenant": TENANTS[index % len(TENANTS)],
+                    "script": SUITE[name],
+                    "_name": name,
+                }
+            )
+            index += 1
+    return requests
+
+
+def run_server(cache_dir, requests, workers=0, chaos=None, timeout=300):
+    """Start ``staub serve``, drive the stream, return parsed responses."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--cache",
+        cache_dir,
+        "--cache-shards",
+        "2",
+        "--flush-every",
+        "2",
+        "--workers",
+        str(workers),
+    ]
+    if chaos:
+        command += ["--chaos", chaos]
+    stdin_lines = [
+        json.dumps({k: v for k, v in request.items() if not k.startswith("_")})
+        for request in requests
+    ]
+    stdin_lines.append(json.dumps({"op": "cache-stats", "id": "stats"}))
+    stdin_lines.append(json.dumps({"op": "shutdown", "id": "bye"}))
+    process = subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    try:
+        out, err = process.communicate("\n".join(stdin_lines) + "\n", timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        fail("server hung past the drill timeout")
+    if process.returncode != 0:
+        fail(f"server exited {process.returncode}; stderr: {err.strip()[-500:]}")
+    if "Traceback" in err:
+        fail(f"server stderr contains a traceback: {err.strip()[-500:]}")
+    payloads = []
+    for line in out.splitlines():
+        try:
+            payloads.append(json.loads(line))
+        except ValueError:
+            fail(f"non-JSON response line: {line[:120]!r}")
+    return payloads
+
+
+def orphan_processes(marker, settle=5.0):
+    """Processes still running with the per-drill marker in their cmdline.
+
+    Terminated workers reparent to init when the server exits and may
+    take a beat to be reaped, so the scan retries over a short settle
+    window -- only a process that *persists* is an orphan.
+    """
+    import time
+
+    deadline = time.monotonic() + settle
+    while True:
+        orphans = []
+        for pid in os.listdir("/proc"):
+            if not pid.isdigit() or int(pid) == os.getpid():
+                continue
+            try:
+                with open(f"/proc/{pid}/cmdline", "rb") as handle:
+                    cmdline = handle.read().decode("utf-8", "replace")
+            except OSError:
+                continue
+            # The server (and its forked workers) run `-m repro.cli serve
+            # --cache <marker>`; requiring both strings avoids matching
+            # the driving shell, whose command line also names the dir.
+            if marker in cmdline and "repro.cli" in cmdline:
+                orphans.append(pid)
+        if not orphans or time.monotonic() >= deadline:
+            return orphans
+        time.sleep(0.2)
+
+
+def check_responses(payloads, requests, baseline, phase, expect_cached=False):
+    by_id = {p.get("id"): p for p in payloads}
+    for request in requests:
+        payload = by_id.get(request["id"])
+        if payload is None:
+            fail(f"{phase}: request {request['id']} got no response")
+        status = payload.get("status")
+        expected = baseline[request["_name"]]
+        if status == "unknown":
+            if phase != "chaos":
+                fail(f"{phase}: request {request['id']} degraded: {payload}")
+            if not payload.get("reason"):
+                fail(f"{phase}: unknown without a reason: {payload}")
+        elif status != expected:
+            fail(
+                f"{phase}: request {request['id']} verdict {status!r} "
+                f"!= serial {expected!r}"
+            )
+        elif expect_cached and not payload.get("cached"):
+            fail(f"{phase}: request {request['id']} was not served from cache")
+    if "stats" not in by_id:
+        fail(f"{phase}: cache-stats went unanswered")
+    if not by_id.get("bye", {}).get("shutdown"):
+        fail(f"{phase}: shutdown was not acknowledged")
+    return by_id
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default="drill-cache")
+    parser.add_argument("--chaos", default="1234:0.2")
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    sys.path.insert(0, SRC)
+    baseline = baseline_verdicts()
+    print(f"serial baseline: {baseline}")
+    requests = traffic()
+    cache_dir = os.path.abspath(args.cache_dir)
+
+    # -- cold: fresh cache, inline (deterministic) --------------------------
+    payloads = run_server(cache_dir, requests, workers=0)
+    check_responses(payloads, requests, baseline, "cold")
+    print(f"cold: {len(requests)} requests answered, verdict parity holds")
+
+    # -- warm: same store, every solve from the shards ----------------------
+    payloads = run_server(cache_dir, requests, workers=0)
+    by_id = check_responses(payloads, requests, baseline, "warm", expect_cached=True)
+    stats = by_id["stats"]["stats"]
+    if stats["cache"] is None or stats["cache"]["entries"] == 0:
+        fail("warm: sharded cache reports no entries")
+    print(
+        f"warm: all {len(requests)} answers cached "
+        f"({stats['cache']['entries']} entries across "
+        f"{stats['cache']['shards']} shards)"
+    )
+
+    # -- chaos: fault mix, real worker processes ----------------------------
+    payloads = run_server(
+        cache_dir, requests, workers=args.workers, chaos=args.chaos
+    )
+    check_responses(payloads, requests, baseline, "chaos")
+    degraded = sum(1 for p in payloads if p.get("status") == "unknown")
+    print(
+        f"chaos ({args.chaos}, {args.workers} workers): every request "
+        f"terminated; {degraded} structured degradations"
+    )
+
+    orphans = orphan_processes(cache_dir)
+    if orphans:
+        fail(f"orphan processes survived the drills: {orphans}")
+
+    # -- the store survived the whole ordeal --------------------------------
+    from repro.cache import ShardedSolveCache
+
+    store = ShardedSolveCache(cache_dir)
+    print(
+        f"store intact: {len(store)} entries, {store.shards} shards, "
+        "all loadable"
+    )
+    print("service_drill: OK")
+
+
+if __name__ == "__main__":
+    main()

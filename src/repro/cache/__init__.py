@@ -22,6 +22,7 @@ from repro.cache.keys import (
     normalize_assertions,
     script_digests,
 )
+from repro.cache.sharded import DEFAULT_SHARDS, ShardedSolveCache, open_cache
 from repro.cache.store import (
     DEFAULT_MAX_CORES,
     DEFAULT_MAX_ENTRIES,
@@ -36,8 +37,11 @@ __all__ = [
     "CanonicalOrder",
     "DEFAULT_MAX_CORES",
     "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_SHARDS",
+    "ShardedSolveCache",
     "SolveCache",
     "activated",
+    "open_cache",
     "assertion_digest",
     "cache_key",
     "canonical_text",

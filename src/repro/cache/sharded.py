@@ -1,0 +1,209 @@
+"""A solve cache sharded by canonical-key prefix across N files.
+
+One JSON file per shard under a directory, so concurrent workers (or
+several server processes) never contend on a single file and one corrupt
+shard never takes down the store:
+
+- **routing**: whole-key entries shard on the leading hex digits of the
+  canonical cache key; unsat cores shard on their minimum digest. Both
+  are stable properties of the content, so every process routes a given
+  key to the same shard.
+- **batched flushes**: mutations mark their shard dirty;
+  :meth:`save` persists only dirty shards (each atomically, checksummed,
+  and -- see :meth:`SolveCache.save` -- merged under an advisory lock so
+  a flush never silently discards another writer's entries).
+- **per-shard quarantine**: each shard is a full
+  :class:`~repro.cache.store.SolveCache`, so an unreadable shard file is
+  moved aside to ``<shard>.corrupt`` and the other shards keep serving.
+
+The shard count is fixed at creation and recorded in ``meta.json``;
+opening an existing directory follows the recorded count (re-sharding a
+live store would strand entries in unreachable files).
+"""
+
+import json
+import os
+
+from repro import telemetry
+from repro.cache.store import DEFAULT_MAX_CORES, DEFAULT_MAX_ENTRIES, SolveCache
+
+__all__ = ["ShardedSolveCache", "open_cache"]
+
+#: Default shard count for new sharded stores.
+DEFAULT_SHARDS = 4
+
+_META_NAME = "meta.json"
+
+
+def open_cache(path, shards=None, **kwargs):
+    """Open the right cache flavor for ``path``.
+
+    A directory (existing, or a path with no ``.json`` suffix when
+    ``shards`` is requested) opens as a :class:`ShardedSolveCache`;
+    anything else is a plain single-file :class:`SolveCache`.
+    """
+    path = os.fspath(path)
+    if os.path.isdir(path) or shards:
+        return ShardedSolveCache(path, shards=shards, **kwargs)
+    return SolveCache(path=path, **kwargs)
+
+
+class ShardedSolveCache:
+    """N :class:`SolveCache` shards behind the single-store interface.
+
+    Args:
+        path: directory holding ``meta.json`` and ``shard-NN.json``
+            files (created if missing).
+        shards: shard count for a *new* store; an existing ``meta.json``
+            wins over a conflicting request (with a
+            ``cache.shard_count_pinned`` counter, not an error -- the
+            store must keep serving).
+        max_entries / max_cores: per-shard bounds.
+        core_reuse: passed through to every shard.
+    """
+
+    def __init__(
+        self,
+        path,
+        shards=None,
+        max_entries=DEFAULT_MAX_ENTRIES,
+        max_cores=DEFAULT_MAX_CORES,
+        core_reuse=True,
+    ):
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        recorded = self._read_meta()
+        requested = shards or DEFAULT_SHARDS
+        if recorded is None:
+            self.shards = requested
+            self._write_meta()
+        else:
+            if shards and shards != recorded:
+                telemetry.counter_add("cache.shard_count_pinned")
+            self.shards = recorded
+        self.core_reuse = core_reuse
+        self._stores = [
+            SolveCache(
+                path=os.path.join(self.path, f"shard-{index:02d}.json"),
+                max_entries=max_entries,
+                max_cores=max_cores,
+                core_reuse=core_reuse,
+            )
+            for index in range(self.shards)
+        ]
+        self._dirty = set()
+
+    # -- meta --------------------------------------------------------------
+
+    def _meta_path(self):
+        return os.path.join(self.path, _META_NAME)
+
+    def _read_meta(self):
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            count = int(payload["shards"])
+            if count < 1:
+                raise ValueError(count)
+            return count
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # A garbled meta file: fall back to the default layout rather
+            # than refusing to serve (shard files it mismatches will
+            # simply quarantine themselves entry by entry).
+            telemetry.counter_add("cache.quarantined", reason="meta")
+            return None
+
+    def _write_meta(self):
+        temp = f"{self._meta_path()}.tmp.{os.getpid()}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump({"version": 1, "shards": self.shards}, handle)
+        os.replace(temp, self._meta_path())
+
+    # -- routing -----------------------------------------------------------
+
+    def _shard_for_key(self, key):
+        return self._stores[int(str(key)[:8], 16) % self.shards]
+
+    def _shard_for_core(self, digests):
+        return self._stores[int(min(digests)[:8], 16) % self.shards]
+
+    # -- the SolveCache interface ------------------------------------------
+
+    def __len__(self):
+        return sum(len(store) for store in self._stores)
+
+    def __contains__(self, key):
+        return key in self._shard_for_key(key)
+
+    def get(self, key, kind="solve"):
+        return self._shard_for_key(key).get(key, kind=kind)
+
+    def put(self, key, entry, kind="solve"):
+        store = self._shard_for_key(key)
+        store.put(key, entry, kind=kind)
+        self._dirty.add(store.path)
+
+    def has_cores(self):
+        return any(store.has_cores() for store in self._stores)
+
+    def add_core(self, digests, kind="solve"):
+        if not self.core_reuse:
+            return False
+        digests = frozenset(digests)
+        if not digests:
+            telemetry.counter_add("cache.core_rejected", reason="empty")
+            return False
+        store = self._shard_for_core(digests)
+        stored = store.add_core(digests, kind=kind)
+        if stored:
+            self._dirty.add(store.path)
+        return stored
+
+    def find_core(self, digests, kind="solve"):
+        """Probe every shard in index order (deterministic, N is small)."""
+        if not self.core_reuse:
+            return None
+        for store in self._stores:
+            core = store.find_core(digests, kind=kind)
+            if core is not None:
+                return core
+        return None
+
+    def clear(self):
+        for store in self._stores:
+            store.clear()
+        self._dirty.clear()
+
+    def stats(self):
+        """Aggregated counters plus a per-shard entry breakdown."""
+        totals = None
+        for store in self._stores:
+            shard_stats = store.stats()
+            if totals is None:
+                totals = dict(shard_stats)
+            else:
+                for field, value in shard_stats.items():
+                    totals[field] += value
+        totals["shards"] = self.shards
+        totals["per_shard_entries"] = [len(store) for store in self._stores]
+        return totals
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, force=False):
+        """Flush dirty shards (all of them with ``force``); returns count.
+
+        This is the service's batched flush: shards untouched since the
+        last save cost nothing, and each flushed shard is written
+        atomically under its own advisory lock.
+        """
+        flushed = 0
+        for store in self._stores:
+            if force or store.path in self._dirty:
+                store.save()
+                self._dirty.discard(store.path)
+                flushed += 1
+        telemetry.counter_add("cache.shard_flushes", flushed)
+        return flushed

@@ -22,7 +22,13 @@ import hashlib
 import json
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
 from fractions import Fraction
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro import telemetry
 from repro.errors import CacheError
@@ -45,6 +51,28 @@ def _entry_checksum(entry):
     """Short content checksum for one cache entry dict."""
     canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@contextmanager
+def _advisory_lock(path):
+    """An exclusive advisory file lock (no-op where flock is missing).
+
+    Serializes concurrent :meth:`SolveCache.save` calls across processes
+    so the read-merge-write cycle is atomic with respect to other
+    writers of the same file.
+    """
+    if fcntl is None:
+        yield
+        return
+    handle = open(path, "a+", encoding="utf-8")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
 
 
 # -- model value encoding ---------------------------------------------------
@@ -301,7 +329,7 @@ class SolveCache:
         self._core_index.clear()
         self._core_seen.clear()
         if self.path is not None:
-            self.save()
+            self.save(merge=False)
 
     def stats(self):
         """Session and lifetime counters plus the current entry count."""
@@ -480,46 +508,115 @@ class SolveCache:
         self._core_seen.add(digests)
         self._core_index.setdefault(min(digests), []).append(core_id)
 
-    def save(self, path=None):
+    def _merge_from_disk(self, target):
+        """Fold another writer's entries from ``target`` into this store.
+
+        Called under the save lock: any entry (or core) on disk that this
+        store does not hold was written by a concurrent process after we
+        loaded, and overwriting it blind would silently discard that
+        worker's results. Disk-only entries join at the cold (LRU-first)
+        end -- our own entries are fresher -- capped so the merge never
+        evicts anything we hold; entries failing their checksum are
+        skipped (bit-rot does not deserve rescue). Lifetime stats merge
+        by elementwise max, which never double-counts a shared base.
+        """
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                payload = json.loads(handle.read())
+        except (OSError, ValueError):
+            return  # unreadable previous file: nothing mergeable
+        if not isinstance(payload, dict):
+            return
+        version = payload.get("version")
+        if version not in _ACCEPTED_VERSIONS:
+            return
+        entries = payload.get("entries")
+        checksums = payload.get("checksums") or {}
+        merged = OrderedDict()
+        if isinstance(entries, dict):
+            for key, entry in entries.items():
+                if key in self._entries:
+                    continue
+                if version >= 2 and _entry_checksum(entry) != checksums.get(key):
+                    continue
+                merged[key] = entry
+        if self.max_entries is not None:
+            room = self.max_entries - len(self._entries)
+            while len(merged) > max(0, room):
+                # Disk order is cold-to-hot: drop the coldest first.
+                merged.popitem(last=False)
+                telemetry.counter_add("cache.merge_dropped")
+        if merged:
+            combined = OrderedDict(merged)
+            combined.update(self._entries)
+            self._entries = combined
+            for key, entry in merged.items():
+                if isinstance(entry, dict):
+                    self._kinds[key] = entry.get("kind", "solve")
+            telemetry.counter_add("cache.merged", len(merged))
+        if version >= 3 and self.core_reuse:
+            cores = payload.get("cores") or []
+            if cores and _entry_checksum(cores) == payload.get("cores_checksum"):
+                for digests in cores:
+                    self._install_core(frozenset(digests))
+        stored = payload.get("stats") or {}
+        for field in self._lifetime:
+            try:
+                self._lifetime[field] = max(
+                    self._lifetime[field], int(stored.get(field, 0))
+                )
+            except (TypeError, ValueError):
+                continue
+
+    def save(self, path=None, merge=True):
         """Atomically write all entries (and lifetime stats) to the file.
 
         The payload lands in a temp sibling first and is renamed over the
         target with :func:`os.replace`, so a crash mid-write can never
-        leave a truncated cache behind.
+        leave a truncated cache behind. The whole cycle runs under an
+        advisory file lock, and entries another process persisted since
+        we last loaded are merged in first (see :meth:`_merge_from_disk`)
+        -- two workers flushing the same shard keep both result sets
+        instead of last-writer-wins. ``merge=False`` writes this store's
+        state verbatim (:meth:`clear` uses it: a clear must not
+        resurrect what it just dropped).
         """
         target = path if path is not None else self.path
         if target is None:
             raise ValueError("SolveCache has no path to save to")
-        stats = self.stats()
-        entries = dict(self._entries)
-        cores = [sorted(digests) for digests in self._cores.values()]
-        payload = {
-            "version": _FORMAT_VERSION,
-            "stats": {
-                "hits": stats["lifetime_hits"],
-                "misses": stats["lifetime_misses"],
-                "evictions": stats["lifetime_evictions"],
-                "core_hits": stats["lifetime_core_hits"],
-            },
-            "entries": entries,
-            "checksums": {
-                key: _entry_checksum(entry) for key, entry in entries.items()
-            },
-            "cores": cores,
-            "cores_checksum": _entry_checksum(cores),
-        }
-        text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
-        fault = chaos.inject("cache.persist", salt=str(target))
-        if fault is not None:
-            text = fault.garble(text)
-        temp = f"{target}.tmp.{os.getpid()}"
-        try:
-            with open(temp, "w", encoding="utf-8") as handle:
-                handle.write(text)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temp, target)
-        finally:
-            if os.path.exists(temp):
-                os.remove(temp)
+        with _advisory_lock(f"{target}.lock"):
+            if merge and os.path.exists(target):
+                self._merge_from_disk(target)
+            stats = self.stats()
+            entries = dict(self._entries)
+            cores = [sorted(digests) for digests in self._cores.values()]
+            payload = {
+                "version": _FORMAT_VERSION,
+                "stats": {
+                    "hits": stats["lifetime_hits"],
+                    "misses": stats["lifetime_misses"],
+                    "evictions": stats["lifetime_evictions"],
+                    "core_hits": stats["lifetime_core_hits"],
+                },
+                "entries": entries,
+                "checksums": {
+                    key: _entry_checksum(entry) for key, entry in entries.items()
+                },
+                "cores": cores,
+                "cores_checksum": _entry_checksum(cores),
+            }
+            text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            fault = chaos.inject("cache.persist", salt=str(target))
+            if fault is not None:
+                text = fault.garble(text)
+            temp = f"{target}.tmp.{os.getpid()}"
+            try:
+                with open(temp, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp, target)
+            finally:
+                if os.path.exists(temp):
+                    os.remove(temp)
         return target

@@ -21,8 +21,13 @@ Mirrors the paper's tool surface:
 - ``staub portfolio FILE``: race the unbounded original (both solver
   profiles) against the STAUB translation; deterministic interleaved
   slices by default, real processes with ``--jobs N``.
-- ``staub cache stats/clear FILE.json``: inspect or reset a persistent
-  solve cache (built by ``solve --cache`` / ``run_all --cache``).
+- ``staub cache stats/clear PATH``: inspect or reset a persistent
+  solve cache (built by ``solve --cache`` / ``run_all --cache``); a
+  directory path opens a sharded store.
+- ``staub serve``: a long-running multi-tenant solve server speaking
+  newline-delimited JSON on stdio (or ``--socket PATH``), with bounded
+  admission, per-tenant budgets, worker crash retry, and a sharded
+  persistent cache (``--cache DIR --cache-shards N``).
 - ``staub profile TRACE.jsonl``: per-stage breakdown of a telemetry
   trace recorded with ``--trace``; ``--top N`` caps the table,
   ``--critical-path`` prints the heaviest span chain, and
@@ -171,11 +176,16 @@ def _cmd_portfolio(args):
 
 
 def _cmd_cache_stats(args):
-    cache = SolveCache(path=args.path)
+    from repro.cache import open_cache
+
+    cache = open_cache(args.path)
     stats = cache.stats()
     print(f"cache: {args.path}")
     print(f"  entries = {stats['entries']}")
     print(f"  cores = {stats['cores']}")
+    if "shards" in stats:
+        per_shard = ", ".join(str(count) for count in stats["per_shard_entries"])
+        print(f"  shards = {stats['shards']} (entries per shard: {per_shard})")
     for field in ("hits", "misses", "evictions", "core_hits"):
         label = field.replace("_", " ")
         print(f"  lifetime {label} = {stats[f'lifetime_{field}']}")
@@ -187,13 +197,48 @@ def _cmd_cache_stats(args):
 
 
 def _cmd_cache_clear(args):
-    cache = SolveCache(path=args.path)
+    from repro.cache import open_cache
+
+    cache = open_cache(args.path)
     entries = len(cache)
     cores = cache.stats()["cores"]
     # clear() rolls session counters into lifetime and persists the
     # emptied store atomically itself (the store has a path).
     cache.clear()
     print(f"cleared {entries} entries and {cores} cores from {args.path}")
+    return 0
+
+
+def _cmd_serve(args):
+    from repro.cache import open_cache
+    from repro.service import SolveService, serve_socket, serve_stream
+
+    cache = None
+    if args.cache:
+        cache = open_cache(args.cache, shards=args.cache_shards)
+    service = SolveService(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        profile=args.profile,
+        budget=args.budget,
+        timeout=args.timeout,
+        global_work=args.global_work,
+        global_deadline=args.global_deadline,
+        tenant_work=args.tenant_work,
+        cache=cache,
+        flush_every=args.flush_every,
+    )
+    mode = f"{args.workers} workers" if args.workers else "inline (deterministic)"
+    if args.socket:
+        print(f"staub serve: listening on {args.socket} [{mode}]", file=sys.stderr)
+        abandoned = serve_socket(service, args.socket)
+    else:
+        print(f"staub serve: reading NDJSON from stdin [{mode}]", file=sys.stderr)
+        abandoned = serve_stream(service, sys.stdin, sys.stdout)
+    if abandoned:
+        print(f"staub serve: abandoned {abandoned} in-flight requests",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -464,6 +509,94 @@ def build_parser():
     cache_clear.add_argument("path")
     cache_clear.set_defaults(func=_cmd_cache_clear)
 
+    from repro.service.server import DEFAULT_FLUSH_EVERY, DEFAULT_QUEUE_CAPACITY
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running multi-tenant solve server (NDJSON on stdio or a socket)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes; 0 runs requests inline (deterministic)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=DEFAULT_QUEUE_CAPACITY,
+        metavar="N",
+        help="admission bound; excess requests answer unknown "
+        f"(reason=saturated) immediately (default {DEFAULT_QUEUE_CAPACITY})",
+    )
+    serve.add_argument("--profile", default="zorro", choices=("zorro", "corvus"))
+    serve.add_argument(
+        "--budget",
+        type=int,
+        default=TIMEOUT_WORK,
+        help="default per-request work budget (requests may narrow it)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall deadline: cooperative cancellation "
+        "first, hard worker termination after a grace window",
+    )
+    serve.add_argument(
+        "--global-work",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="work ceiling across all tenants (the root governor)",
+    )
+    serve.add_argument(
+        "--global-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock lifetime for the whole server",
+    )
+    serve.add_argument(
+        "--tenant-work",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="per-tenant work ceiling; exhausted tenants are rejected at "
+        "admission with reason=tenant_budget",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persistent solve cache shared by all tenants; a directory "
+        "opens a sharded store",
+    )
+    serve.add_argument(
+        "--cache-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard a new --cache directory N ways (an existing store's "
+        "recorded count wins)",
+    )
+    serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=DEFAULT_FLUSH_EVERY,
+        metavar="N",
+        help=f"completions between batched cache flushes (default {DEFAULT_FLUSH_EVERY})",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve a Unix domain socket instead of stdio",
+    )
+    _add_chaos_flag(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     arbitrage = sub.add_parser("arbitrage", help="run the full STAUB pipeline")
     arbitrage.add_argument("file")
     arbitrage.add_argument("--width", type=int, default=None)
@@ -629,6 +762,17 @@ def main(argv=None):
         print("staub: error: a subcommand is required", file=sys.stderr)
         return 2
     chaos_spec = getattr(args, "chaos", None)
+    if not chaos_spec and os.environ.get(chaos.ENV_VAR):
+        # Validate the environment spec up front: a typo'd REPRO_CHAOS
+        # must fail fast with a structured usage error, not surface as a
+        # traceback from the first lazy chaos.active() call mid-solve.
+        env_spec = os.environ[chaos.ENV_VAR]
+        try:
+            chaos.parse_spec(env_spec)
+        except ValueError as error:
+            print(f"staub: error: {chaos.ENV_VAR}={env_spec!r}: {error}",
+                  file=sys.stderr)
+            return 2
     if chaos_spec:
         try:
             chaos.install(chaos.parse_spec(chaos_spec))

@@ -7,7 +7,10 @@ injection points threaded through the stack:
 - ``portfolio.worker_spawn`` -- inside a freshly spawned race/pool worker;
 - ``cache.load`` / ``cache.persist`` -- the persistent solve cache's
   read and write paths (payload garbling);
-- ``telemetry.flush``    -- the JSONL span writer.
+- ``telemetry.flush``    -- the JSONL span writer;
+- ``service.accept`` / ``service.worker_crash`` / ``service.flush`` --
+  the solve service's admission, worker-execution, and batched
+  cache-flush paths.
 
 Every draw is seeded by ``(plan seed, point, salt, per-point count)``,
 so a given plan injects the *same* faults at the same points regardless
@@ -56,6 +59,9 @@ POINTS = (
     "cache.load",
     "cache.persist",
     "telemetry.flush",
+    "service.accept",
+    "service.worker_crash",
+    "service.flush",
 )
 
 #: Default fault mix per point. Only recoverable faults: worker crashes
@@ -67,6 +73,12 @@ DEFAULT_KINDS = {
     "cache.load": ("corrupt",),
     "cache.persist": ("corrupt",),
     "telemetry.flush": ("drop",),
+    # Service points (all recoverable): a dropped accept answers a
+    # structured unknown, a crashed worker is retried once then degrades,
+    # a dropped flush defers persistence to the next batch/shutdown.
+    "service.accept": ("delay", "drop"),
+    "service.worker_crash": ("crash",),
+    "service.flush": ("drop",),
 }
 
 

@@ -188,6 +188,24 @@ class ResourceBudget:
 
     # -- control -----------------------------------------------------------
 
+    def child(self, work=None, deadline=None, max_depth=None, max_memory=None):
+        """A new budget parented to this one.
+
+        Interruption flows downward only: exhausting (or cancelling) the
+        parent trips every descendant's next check with reason
+        ``"parent"``, while a child exhausting its own ceilings leaves
+        the parent untouched. This is the fairness primitive the solve
+        service builds on -- one global governor, one child per tenant,
+        one grandchild per request.
+        """
+        return ResourceBudget(
+            work=work,
+            deadline=deadline,
+            max_depth=max_depth,
+            max_memory=max_memory,
+            parent=self,
+        )
+
     def cancel(self):
         """Cooperative cancellation: every layer's next check trips."""
         self.cancelled = True

@@ -38,6 +38,23 @@ CRASH_RETRY_BACKOFF = 0.05
 CRASH_RETRIES = 1
 
 
+def terminate_processes(processes, join_timeout=5.0):
+    """Terminate, join, and as a last resort kill every process given.
+
+    The zombie-freedom primitive shared by :func:`parallel_race` and the
+    solve service's worker pool: after this returns, none of the given
+    processes is running (``kill`` is the escalation when ``terminate``
+    is ignored).
+    """
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=join_timeout)
+        if process.is_alive():  # terminate was ignored: last resort
+            process.kill()
+            process.join(timeout=join_timeout)
+
+
 class Attempt:
     """One lane's run at one slice budget.
 
@@ -422,13 +439,7 @@ def parallel_race(tasks, script, budget=None, jobs=None, wall_timeout=600.0):
                 reap(index)
     finally:
         # No zombies: every child is terminated and joined on every path.
-        for process in running.values():
-            if process.is_alive():
-                process.terminate()
-            process.join(timeout=5)
-            if process.is_alive():  # terminate was ignored: last resort
-                process.kill()
-                process.join(timeout=5)
+        terminate_processes(running.values())
         results_queue.cancel_join_thread()
 
     total = sum(attempt.work for attempt in attempts)

@@ -1,0 +1,201 @@
+"""The solve service's wire protocol: newline-delimited JSON.
+
+One request per line, one JSON object per response line. Requests:
+
+- ``{"op": "solve", "script": "...", ...}`` -- solve an SMT-LIB script;
+- ``{"op": "arbitrage", "script": "...", ...}`` -- run the STAUB
+  underapproximate-then-verify pipeline;
+- ``{"op": "cache-stats"}`` -- the shared cache's counters;
+- ``{"op": "shutdown"}`` -- drain in-flight work and stop the server.
+
+Optional request fields: ``id`` (any JSON value, echoed verbatim so
+clients can pipeline and match responses out of order), ``tenant``
+(fairness bucket, default ``"anonymous"``), ``profile``, ``budget``
+(unified work units), ``timeout`` (wall seconds; opt-in, trades
+determinism for punctuality).
+
+Responses always terminate: a well-formed solve request is answered with
+its verdict (``status`` is byte-identical to what ``staub solve`` would
+print) or a *structured* ``unknown`` carrying a ``reason`` --
+``saturated`` (admission queue full), ``tenant_budget`` (per-tenant
+ceiling hit), ``dropped`` (injected fault), ``worker_crashed`` (crash
+retry exhausted), or a governor reason (``deadline`` / ``work`` /
+``cancelled``). A malformed line is answered with ``{"ok": false,
+"error": ...}`` -- never a traceback, never silence.
+"""
+
+import json
+
+from repro.cache.store import encode_model
+
+__all__ = [
+    "OPS",
+    "ProtocolError",
+    "encode_response",
+    "error_response",
+    "parse_request",
+    "rejection_response",
+]
+
+#: Operations the service accepts.
+OPS = ("solve", "arbitrage", "cache-stats", "shutdown")
+
+#: Tenant bucket used when a request does not name one.
+DEFAULT_TENANT = "anonymous"
+
+_SCRIPT_OPS = ("solve", "arbitrage")
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (bad JSON, unknown op, missing field)."""
+
+
+class Request:
+    """One validated request, ready for admission.
+
+    Attributes mirror the wire fields; ``salt`` is a stable per-request
+    string used to seed chaos draws deterministically per request.
+    """
+
+    __slots__ = ("id", "op", "tenant", "script", "profile", "budget", "timeout", "salt")
+
+    def __init__(self, id, op, tenant, script, profile, budget, timeout, salt):
+        self.id = id
+        self.op = op
+        self.tenant = tenant
+        self.script = script
+        self.profile = profile
+        self.budget = budget
+        self.timeout = timeout
+        self.salt = salt
+
+    def __repr__(self):
+        return f"Request({self.op}, id={self.id!r}, tenant={self.tenant})"
+
+
+def parse_request(line, sequence=0):
+    """Parse and validate one request line into a :class:`Request`.
+
+    Raises:
+        ProtocolError: with a one-line message on any malformed input.
+    """
+    text = line.strip()
+    if not text:
+        raise ProtocolError("empty request line")
+    try:
+        payload = json.loads(text)
+    except ValueError as error:
+        raise ProtocolError(f"bad JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    script = payload.get("script")
+    if op in _SCRIPT_OPS:
+        if not isinstance(script, str) or not script.strip():
+            raise ProtocolError(f"op {op!r} needs a non-empty 'script' string")
+    tenant = payload.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("'tenant' must be a non-empty string")
+    budget = payload.get("budget")
+    if budget is not None and (not isinstance(budget, int) or budget <= 0):
+        raise ProtocolError("'budget' must be a positive integer")
+    timeout = payload.get("timeout")
+    if timeout is not None and (
+        not isinstance(timeout, (int, float)) or timeout <= 0
+    ):
+        raise ProtocolError("'timeout' must be a positive number of seconds")
+    profile = payload.get("profile")
+    if profile is not None and profile not in ("zorro", "corvus"):
+        raise ProtocolError(f"unknown profile {profile!r}")
+    return Request(
+        payload.get("id"),
+        op,
+        tenant,
+        script,
+        profile,
+        budget,
+        timeout,
+        salt=f"req-{sequence}",
+    )
+
+
+# -- responses ---------------------------------------------------------------
+
+
+def _base(request):
+    payload = {"ok": True, "op": request.op}
+    if request.id is not None:
+        payload["id"] = request.id
+    if request.op in _SCRIPT_OPS:
+        payload["tenant"] = request.tenant
+    return payload
+
+
+def result_response(request, result):
+    """Encode a :class:`~repro.solver.result.SolveResult` for the wire."""
+    payload = _base(request)
+    payload["status"] = result.status
+    payload["work"] = result.work
+    payload["engine"] = result.engine
+    payload["cached"] = bool(result.cached)
+    if result.is_sat and result.model is not None:
+        try:
+            payload["model"] = encode_model(result.model)
+        except TypeError:
+            payload["model"] = None
+    reason = result.stats.get("gave_up_reason") if result.stats else None
+    if result.status == "unknown" and reason:
+        payload["reason"] = reason
+    return payload
+
+
+def report_response(request, report):
+    """Encode an :class:`~repro.core.pipeline.ArbitrageReport`."""
+    payload = _base(request)
+    payload["case"] = report.case
+    payload["status"] = (
+        "sat" if report.case == "verified-sat" else (report.bounded_status or "unknown")
+    )
+    payload["width"] = report.width
+    payload["work"] = report.total_work
+    if report.model is not None:
+        try:
+            payload["model"] = encode_model(report.model)
+        except TypeError:
+            payload["model"] = None
+    return payload
+
+
+def rejection_response(request, reason):
+    """A structured ``unknown`` for a request the service will not run."""
+    payload = _base(request)
+    payload["status"] = "unknown"
+    payload["reason"] = reason
+    return payload
+
+
+def stats_response(request, stats):
+    payload = _base(request)
+    payload["stats"] = stats
+    return payload
+
+
+def shutdown_response(request):
+    payload = _base(request)
+    payload["shutdown"] = True
+    return payload
+
+
+def error_response(message, id=None):
+    """A structured protocol error (never a traceback)."""
+    payload = {"ok": False, "error": str(message).splitlines()[0]}
+    if id is not None:
+        payload["id"] = id
+    return payload
+
+
+def encode_response(payload):
+    """One response line (compact separators keep the stream dense)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

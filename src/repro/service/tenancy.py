@@ -1,0 +1,114 @@
+"""Per-tenant fairness for the solve service.
+
+Every tenant gets a child :class:`~repro.guard.ResourceBudget` of one
+global governor (the parent-chained design from :mod:`repro.guard`), so:
+
+- a tenant that burns through its work ceiling is *rejected at
+  admission* (``reason=tenant_budget``) instead of starving the queue;
+- evicting a tenant cancels its child budget, which cooperatively
+  interrupts every live in-process solve parented under it (grandchild
+  request budgets trip on their next governor check);
+- exhausting the global governor degrades every tenant at once -- the
+  server answers structured ``unknown`` rather than queueing work it can
+  no longer run.
+
+Work is charged twice on purpose: once against the tenant's child and
+once against the global root. ``ResourceBudget.charge`` only bills the
+budget it is called on, and a request's work must count against both
+ceilings regardless of whether the solve ran in-process (under the
+grandchild) or in a worker process (whose governor cannot span the
+process boundary).
+"""
+
+from repro import guard, telemetry
+
+__all__ = ["TenantLedger"]
+
+
+class TenantLedger:
+    """The service's fairness book: one child budget per tenant.
+
+    Args:
+        global_work: unified work ceiling across *all* tenants
+            (None = unlimited).
+        global_deadline: wall-clock lifetime for the whole server
+            (None keeps the service deterministic).
+        tenant_work: per-tenant work ceiling (None = unlimited).
+    """
+
+    def __init__(self, global_work=None, global_deadline=None, tenant_work=None):
+        self.root = guard.ResourceBudget(work=global_work, deadline=global_deadline)
+        self.tenant_work = tenant_work
+        self._tenants = {}
+        self._evicted = set()
+
+    def budget_for(self, tenant):
+        """The tenant's child budget, created on first sight."""
+        budget = self._tenants.get(tenant)
+        if budget is None:
+            budget = self.root.child(work=self.tenant_work)
+            self._tenants[tenant] = budget
+        return budget
+
+    def admission_reason(self, tenant):
+        """Why this tenant may not submit now, or None if it may.
+
+        Checks are made on throwaway probes of the budget state rather
+        than :meth:`~repro.guard.ResourceBudget.interrupted` so that an
+        admission *check* never latches a give-up reason onto the
+        tenant's budget (a rejected request is not the tenant's solve
+        giving up).
+        """
+        if tenant in self._evicted:
+            return "evicted"
+        budget = self.budget_for(tenant)
+        if budget.cancelled or self.root.cancelled:
+            return "evicted"
+        if self.root._exhausted_reason() is not None:
+            return "global_budget"
+        if budget._exhausted_reason() is not None:
+            return "tenant_budget"
+        return None
+
+    def request_budget(self, tenant, work=None, deadline=None):
+        """A grandchild budget governing one request of this tenant."""
+        return self.budget_for(tenant).child(work=work, deadline=deadline)
+
+    def clamped_work(self, tenant, work):
+        """The request work budget clamped to both remaining ceilings.
+
+        Worker processes cannot share the parent chain, so the clamp is
+        how tenant/global ceilings still bound out-of-process solves.
+        """
+        for remaining in (
+            self.budget_for(tenant).remaining_work(),
+            self.root.remaining_work(),
+        ):
+            if remaining is not None:
+                work = remaining if work is None else min(work, remaining)
+        return work
+
+    def charge(self, tenant, work):
+        """Bill completed work against the tenant and the global root."""
+        if not work:
+            return
+        self.budget_for(tenant).spent += work
+        self.root.spent += work
+        telemetry.observe("service.tenant_work", work, tenant=tenant)
+
+    def evict(self, tenant):
+        """Cancel a tenant: live solves trip cooperatively, new ones bounce."""
+        self._evicted.add(tenant)
+        self.budget_for(tenant).cancel()
+        telemetry.counter_add("service.tenant_evicted", tenant=tenant)
+
+    def stats(self):
+        """Deterministic per-tenant accounting for ``cache-stats`` / logs."""
+        return {
+            tenant: {
+                "spent": budget.spent,
+                "evicted": tenant in self._evicted,
+                "gave_up_reason": budget.reason,
+            }
+            for tenant, budget in sorted(self._tenants.items())
+        }

@@ -1,0 +1,325 @@
+"""The solve service's execution layer: inline or a process worker pool.
+
+Two modes share one request-execution function (:func:`run_request`):
+
+- **inline** (``workers=0``): requests run in the server process under a
+  grandchild :class:`~repro.guard.ResourceBudget` of the tenant's
+  budget. Fully deterministic -- the mode the differential tests and the
+  saturation-semantics tests use.
+- **process pool** (``workers=N``): N persistent worker processes, each
+  with its own task queue (so the parent always knows which request a
+  dead worker was holding) and one shared result queue. Crash recovery
+  reuses the reap/backoff idioms of
+  :func:`repro.portfolio.scheduler.parallel_race`: a worker that dies
+  without reporting is reaped (result queue drained first, so a result
+  racing the exit is never misreported as a crash), the replacement is
+  spawned after an exponential backoff, and the in-flight request is
+  retried once before degrading to a structured ``unknown
+  (reason=worker_crashed)``.
+
+A request whose wall ``timeout`` expires is first cancelled
+*cooperatively* (the worker's own governor deadline trips in the solve
+hot loops); only when a worker overstays the grace window on top of that
+is it terminated -- which then takes the ordinary crash path, bounded by
+the same single retry.
+"""
+
+import os
+import time
+
+from repro import guard, telemetry
+from repro.errors import ReproError
+from repro.guard import chaos
+from repro.portfolio.scheduler import (
+    CRASH_RETRIES,
+    CRASH_RETRY_BACKOFF,
+    terminate_processes,
+)
+from repro.service import protocol
+
+__all__ = ["WorkerPool", "run_request"]
+
+#: Extra wall seconds past a request's cooperative deadline before the
+#: parent hard-terminates the worker holding it.
+TIMEOUT_GRACE = 5.0
+
+
+def run_request(request, governor=None, script=None, cache=None):
+    """Execute one solve/arbitrage request.
+
+    Args:
+        request: a validated :class:`~repro.service.protocol.Request`
+            whose ``profile`` / ``budget`` / ``timeout`` defaults were
+            already resolved by the server.
+        governor: the request's governor (inline mode passes the
+            tenant-parented grandchild; workers build their own).
+        script: the already-parsed script, when the caller has it.
+        cache: a solve cache for the facade to consult (inline mode
+            only; worker processes never touch the shared store).
+
+    Returns:
+        ``(response_payload, cache_entry)`` -- the JSON-safe response
+        and, when the outcome is conclusive, untainted, and within
+        budget, a persistable cache entry dict (else None).
+    """
+    from repro.cache.store import entry_from_result
+    from repro.smtlib import parse_script
+    from repro.solver import solve_script
+
+    if script is None:
+        try:
+            script = parse_script(request.script)
+        except ReproError as error:
+            return protocol.error_response(f"parse error: {error}", id=request.id), None
+    if script.is_incremental:
+        return (
+            protocol.error_response(
+                "incremental scripts are not supported over the service protocol",
+                id=request.id,
+            ),
+            None,
+        )
+    if governor is None:
+        governor = guard.ResourceBudget(work=request.budget, deadline=request.timeout)
+    plan = chaos.active()
+    injected_before = plan.total_injected if plan is not None else 0
+    try:
+        if request.op == "solve":
+            result = solve_script(
+                script,
+                budget=request.budget,
+                profile=request.profile,
+                governor=governor,
+                cache=cache,
+            )
+            payload = protocol.result_response(request, result)
+        else:  # arbitrage
+            from repro.core.pipeline import Staub
+
+            with guard.activate(governor):
+                report = Staub().run(script, budget=request.budget)
+            result = None
+            payload = protocol.report_response(request, report)
+    except ReproError as error:
+        telemetry.counter_add("solver.internal_error", site="service", op=request.op)
+        return protocol.error_response(f"solver error: {error}", id=request.id), None
+    entry = None
+    if (
+        result is not None
+        and result.status in ("sat", "unsat")
+        and not result.cached
+        and governor.reason not in ("deadline", "cancelled")
+        and (plan is None or plan.total_injected == injected_before)
+    ):
+        try:
+            entry = entry_from_result(result)
+        except TypeError:
+            entry = None  # model value with no JSON encoding
+    return payload, entry
+
+
+def _service_worker(worker_id, task_queue, result_queue):
+    """One persistent pool worker: loop on requests until the pill.
+
+    An injected :class:`~repro.guard.chaos.ChaosCrash` exits hard
+    (``os._exit``) exactly like a real segfault, so the parent's reap
+    path is genuinely exercised. Any non-:class:`ReproError` escaping
+    :func:`run_request` also kills the worker and takes the crash path.
+    """
+    while True:
+        request = task_queue.get()
+        if request is None:
+            break
+        try:
+            chaos.inject("service.worker_crash", salt=request.salt)
+        except chaos.ChaosCrash:
+            os._exit(70)  # simulated hard crash: no result, nonzero exit
+        payload, entry = run_request(request)
+        result_queue.put((worker_id, request.salt, payload, entry))
+
+
+class _Worker:
+    __slots__ = ("process", "task_queue")
+
+    def __init__(self, process, task_queue):
+        self.process = process
+        self.task_queue = task_queue
+
+
+class WorkerPool:
+    """Persistent solve workers with bounded crash retry.
+
+    Events from :meth:`poll` are ``("done", request, payload, entry)``,
+    ``("retry", request, None, None)`` (the caller should re-enqueue at
+    the front), and ``("crashed", request, reason, None)`` where
+    ``reason`` is ``worker_crashed``.
+    """
+
+    def __init__(self, workers):
+        import multiprocessing
+
+        if workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._result_queue = self._context.Queue()
+        self._workers = {}  # worker id -> _Worker
+        self._idle = []  # worker ids, kept sorted for determinism
+        self._in_flight = {}  # worker id -> (request, dispatched_at)
+        self._crashes = {}  # request salt -> crash count
+        self._timed_out = set()  # worker ids terminated for overstaying
+        self._next_id = 0
+        self.size = workers
+        for _ in range(workers):
+            self._spawn()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self):
+        worker_id = self._next_id
+        self._next_id += 1
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_service_worker,
+            args=(worker_id, task_queue, self._result_queue),
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = _Worker(process, task_queue)
+        self._idle.append(worker_id)
+        self._idle.sort()
+        return worker_id
+
+    def shutdown(self):
+        """Stop every worker; returns the number abandoned in-flight.
+
+        Pills first (a healthy worker drains and exits), then the
+        :func:`terminate_processes` escalation -- the pool never leaks a
+        process, mirroring ``parallel_race``'s exit guarantee.
+        """
+        for worker in self._workers.values():
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError):
+                pass  # queue already broken: terminate below
+        for worker in self._workers.values():
+            worker.process.join(timeout=2)
+        terminate_processes(w.process for w in self._workers.values())
+        for worker in self._workers.values():
+            worker.task_queue.cancel_join_thread()
+        self._result_queue.cancel_join_thread()
+        abandoned = len(self._in_flight)
+        self._workers.clear()
+        self._idle = []
+        self._in_flight.clear()
+        return abandoned
+
+    # -- dispatch ----------------------------------------------------------
+
+    @property
+    def idle_count(self):
+        return len(self._idle)
+
+    @property
+    def in_flight_count(self):
+        return len(self._in_flight)
+
+    def dispatch(self, request):
+        """Hand a request to the lowest-numbered idle worker."""
+        worker_id = self._idle.pop(0)
+        self._in_flight[worker_id] = (request, time.monotonic())
+        self._workers[worker_id].task_queue.put(request)
+        return worker_id
+
+    # -- completion --------------------------------------------------------
+
+    def poll(self, timeout=0.0):
+        """Collect one round of completions, crashes, and retries."""
+        import queue as queue_module
+
+        events = []
+        try:
+            message = self._result_queue.get(timeout=timeout) if timeout else (
+                self._result_queue.get_nowait()
+            )
+        except queue_module.Empty:
+            message = None
+        if message is not None:
+            worker_id, salt, payload, entry = message
+            holding = self._in_flight.pop(worker_id, None)
+            if holding is not None:
+                self._idle.append(worker_id)
+                self._idle.sort()
+                events.append(("done", holding[0], payload, entry))
+        self._kill_overstayers()
+        events.extend(self._reap_dead())
+        return events
+
+    def _kill_overstayers(self):
+        """Terminate workers past cooperative deadline plus grace."""
+        now = time.monotonic()
+        for worker_id, (request, started) in list(self._in_flight.items()):
+            if request.timeout is None:
+                continue
+            if now - started > request.timeout + TIMEOUT_GRACE:
+                worker = self._workers[worker_id]
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                self._timed_out.add(worker_id)
+                telemetry.counter_add("service.worker_timeout")
+
+    def _reap_dead(self):
+        """Handle workers that died without reporting (crash path)."""
+        import queue as queue_module
+
+        events = []
+        for worker_id in [
+            wid
+            for wid, worker in self._workers.items()
+            if not worker.process.is_alive()
+        ]:
+            # Drain first: the worker may have queued its result just
+            # before exiting; losing it would misreport a crash.
+            try:
+                leftover = self._result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                leftover = None
+            if leftover is not None:
+                self._result_queue.put(leftover)
+                if leftover[0] == worker_id:
+                    continue  # a real result: processed on the next poll
+            events.extend(self._reap(worker_id))
+        return events
+
+    def _reap(self, worker_id):
+        worker = self._workers.pop(worker_id)
+        worker.process.join(timeout=5)
+        worker.task_queue.cancel_join_thread()
+        if worker_id in self._idle:
+            self._idle.remove(worker_id)
+        holding = self._in_flight.pop(worker_id, None)
+        timed_out = worker_id in self._timed_out
+        self._timed_out.discard(worker_id)
+        telemetry.counter_add("service.worker_crash")
+        if holding is None:
+            self._spawn()
+            return []
+        request = holding[0]
+        if timed_out:
+            # The cooperative deadline already failed; retrying would
+            # just overstay again. Degrade like a governor deadline.
+            self._spawn()
+            return [("crashed", request, "deadline", None)]
+        count = self._crashes.get(request.salt, 0) + 1
+        self._crashes[request.salt] = count
+        if count <= CRASH_RETRIES:
+            # Exponential backoff before the replacement takes over the
+            # retried request (same shape as parallel_race's relaunch).
+            time.sleep(CRASH_RETRY_BACKOFF * (2 ** (count - 1)))
+            self._spawn()
+            telemetry.counter_add("service.request_retried")
+            return [("retry", request, None, None)]
+        self._spawn()
+        return [("crashed", request, "worker_crashed", None)]

@@ -116,3 +116,88 @@ class TestReduce:
         out = capsys.readouterr().out
         assert "case: verified-sat" in out
         assert "24 -> 8 bits" in out
+
+
+class TestChaosSpecValidation:
+    """Malformed chaos specs exit 2 with one structured line, no traceback."""
+
+    @pytest.fixture(autouse=True)
+    def no_ambient_chaos(self, monkeypatch):
+        from repro.guard import chaos
+
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        chaos.uninstall()
+        yield
+        chaos.uninstall()
+
+    @pytest.mark.parametrize("bad", ["garbage", "1234", "x:0.1", "1:y", "1234:5.0"])
+    def test_bad_chaos_flag_exits_2(self, nia_file, capsys, bad):
+        assert main(["solve", nia_file, "--chaos", bad]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("staub: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_bad_chaos_env_exits_2(self, nia_file, capsys, monkeypatch):
+        # A typo'd REPRO_CHAOS used to surface as a raw ValueError
+        # traceback from the first lazy chaos.active() call mid-solve.
+        from repro.guard import chaos
+
+        monkeypatch.setenv(chaos.ENV_VAR, "oops")
+        assert main(["solve", nia_file]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("staub: error:")
+        assert chaos.ENV_VAR in err
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_good_chaos_flag_still_runs(self, nia_file, capsys):
+        assert main(["solve", nia_file, "--chaos", "7:0.0"]) == 0
+        assert "sat" in capsys.readouterr().out
+
+    def test_good_chaos_env_still_runs(self, nia_file, capsys, monkeypatch):
+        from repro.guard import chaos
+
+        monkeypatch.setenv(chaos.ENV_VAR, "7:0.0")
+        assert main(["solve", nia_file]) == 0
+        assert "sat" in capsys.readouterr().out
+
+
+class TestServeCLI:
+    def test_serve_stdio_smoke(self, monkeypatch, capsys):
+        import io
+        import json
+        import sys as _sys
+
+        lines = "\n".join(
+            [
+                json.dumps(
+                    {
+                        "op": "solve",
+                        "id": 1,
+                        "script": "(set-logic QF_LIA)(declare-fun a () Int)"
+                        "(assert (> a 10))(assert (< a 13))(check-sat)",
+                    }
+                ),
+                json.dumps({"op": "shutdown", "id": 2}),
+            ]
+        )
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(lines + "\n"))
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        payloads = [json.loads(line) for line in out.splitlines()]
+        assert payloads[0]["id"] == 1 and payloads[0]["status"] == "sat"
+        assert payloads[-1]["shutdown"] is True
+
+    def test_cache_stats_on_sharded_directory(self, tmp_path, capsys):
+        from repro.cache import ShardedSolveCache
+
+        target = tmp_path / "shards"
+        cache = ShardedSolveCache(str(target), shards=2)
+        cache.put("deadbeef" + "0" * 8, {"status": "sat", "work": 1,
+                                         "engine": "t", "model": None, "stats": {}})
+        cache.save()
+        assert main(["cache", "stats", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "shards = 2" in out
+        assert "entries = 1" in out

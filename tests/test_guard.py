@@ -110,6 +110,95 @@ class TestResourceBudget:
         assert "unlimited" in str(unlimited)
 
 
+# -- the governor hierarchy: the service's tenant-eviction primitive --------
+
+
+class TestGovernorHierarchy:
+    """`cancel()` on a parent must interrupt every live descendant.
+
+    The solve service parents one child budget per tenant under a global
+    governor and one grandchild per request; evicting a tenant cancels
+    the child and relies on every grandchild tripping cooperatively with
+    a reason that propagates into the result stats.
+    """
+
+    def _family(self):
+        root = ResourceBudget()
+        tenant = root.child(work=1000)
+        request = tenant.child(work=100)
+        return root, tenant, request
+
+    def test_cancel_root_interrupts_children_and_grandchildren(self):
+        root, tenant, request = self._family()
+        sibling = root.child()
+        root.cancel()
+        for descendant in (tenant, request, sibling):
+            assert descendant.interrupted("sat")
+            assert descendant.reason == "parent"
+        # The root records its own reason (it was cancelled, not its parent).
+        assert root.reason == "cancelled"
+
+    def test_cancel_middle_interrupts_grandchild_not_parent(self):
+        root, tenant, request = self._family()
+        tenant.cancel()
+        assert request.interrupted("sat")
+        assert request.reason == "parent"
+        assert tenant.reason in ("cancelled", "parent")
+        # Cancellation flows downward only: the root keeps running.
+        assert not root.interrupted("sat")
+        assert root.reason is None
+
+    def test_child_exhaustion_leaves_parent_untouched(self):
+        root, tenant, request = self._family()
+        request.spent = request.work_limit
+        assert request.interrupted("sat")
+        assert request.reason == "work"
+        assert not tenant.interrupted("sat")
+        assert not root.interrupted("sat")
+
+    def test_parent_exhaustion_latches_on_every_layer(self):
+        root = ResourceBudget(work=10)
+        tenant = root.child()
+        request = tenant.child()
+        root.spent = 10
+        assert request.interrupted("simplex")
+        # Each budget latched the first give-up it observed.
+        assert request.reason == "parent"
+        assert tenant.reason == "parent"
+        assert root.reason == "work"
+        assert root.gave_up_layer == "simplex"
+
+    def test_give_up_reason_reaches_result_stats(self):
+        # The eviction path end-to-end: a cancelled tenant budget turns a
+        # live solve into a structured unknown whose stats name the cause.
+        root, tenant, request = self._family()
+        tenant.cancel()
+        result = solve_script(parse_script(NIA_HARD), governor=request)
+        assert result.status == "unknown"
+        assert result.stats.get("gave_up_reason") == "parent"
+        assert result.stats.get("gave_up")
+
+    def test_give_up_counter_fires_once_per_budget(self):
+        telemetry.enable()
+        root, tenant, request = self._family()
+        root.cancel()
+        request.interrupted("sat")
+        request.interrupted("lia")  # latched: no second count
+        snapshot = telemetry.snapshot()
+        assert snapshot.get("guard.gave_up{layer=sat,reason=parent}") == 2
+        assert snapshot.get("guard.gave_up{layer=sat,reason=cancelled}") == 1
+        assert not any("layer=lia" in key for key in snapshot)
+
+    def test_child_inherits_no_spend_and_keeps_own_ledger(self):
+        root = ResourceBudget(work=100)
+        root.spent = 40
+        child = root.child(work=30)
+        assert child.spent == 0
+        assert child.remaining_work() == 30
+        child.spent += 10
+        assert root.remaining_work() == 60  # child spend is not parent spend
+
+
 # -- integration: every engine degrades to a structured unknown -------------
 
 

@@ -1,0 +1,288 @@
+"""Sharded-cache tests: routing, quarantine, batched flush, two writers.
+
+The two-writer scenarios pin down the concurrency contract added for the
+solve service: :meth:`SolveCache.save` runs a read-merge-write cycle
+under an advisory file lock, so a shard flush never silently discards
+entries another process persisted since we loaded (the old behaviour
+was last-writer-wins).
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.cache import DEFAULT_SHARDS, ShardedSolveCache, SolveCache, open_cache
+from repro.guard import chaos
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    chaos.uninstall()
+    telemetry.disable()
+    telemetry.get_registry().reset()
+    yield
+    chaos.uninstall()
+    telemetry.disable()
+    telemetry.get_registry().reset()
+
+
+def _key(index, shard=None, shards=4):
+    """A hex cache key; with ``shard`` given, one routed to that shard."""
+    if shard is None:
+        return f"{index:08x}feedc0de"
+    base = shard + shards * index
+    return f"{base:08x}feedc0de"
+
+
+def _entry(work=7, status="sat"):
+    return {"status": status, "work": work, "engine": "test", "model": None,
+            "stats": {}}
+
+
+def _digests(*seeds):
+    return frozenset(f"{seed:024x}" for seed in seeds)
+
+
+# -- open_cache dispatch -----------------------------------------------------
+
+
+class TestOpenCache:
+    def test_json_path_opens_flat_store(self, tmp_path):
+        cache = open_cache(str(tmp_path / "cache.json"))
+        assert isinstance(cache, SolveCache)
+
+    def test_directory_opens_sharded_store(self, tmp_path):
+        target = tmp_path / "shards"
+        target.mkdir()
+        assert isinstance(open_cache(str(target)), ShardedSolveCache)
+
+    def test_shards_request_creates_sharded_store(self, tmp_path):
+        cache = open_cache(str(tmp_path / "new-dir"), shards=3)
+        assert isinstance(cache, ShardedSolveCache)
+        assert cache.shards == 3
+
+
+# -- routing and the store interface -----------------------------------------
+
+
+class TestSharding:
+    def test_routing_is_stable_and_partitioned(self, tmp_path):
+        cache = ShardedSolveCache(str(tmp_path / "s"), shards=4)
+        keys = [_key(i) for i in range(32)]
+        for index, key in enumerate(keys):
+            cache.put(key, _entry(work=index))
+        assert len(cache) == 32
+        for index, key in enumerate(keys):
+            assert key in cache
+            assert cache.get(key)["work"] == index
+        # Every entry lives in exactly one shard, chosen by key prefix.
+        per_shard = cache.stats()["per_shard_entries"]
+        assert sum(per_shard) == 32
+        for store in cache._stores:
+            for key in store._entries:
+                assert cache._shard_for_key(key) is store
+
+    def test_same_key_routes_identically_across_opens(self, tmp_path):
+        cache = ShardedSolveCache(str(tmp_path / "s"), shards=4)
+        key = _key(5, shard=2)
+        cache.put(key, _entry())
+        cache.save()
+        reopened = ShardedSolveCache(str(tmp_path / "s"))
+        assert reopened.get(key) == _entry()
+
+    def test_cores_shard_and_probe_across_shards(self, tmp_path):
+        cache = ShardedSolveCache(str(tmp_path / "s"), shards=4)
+        first = _digests(1, 2)
+        second = _digests(3, 4, 5)
+        assert cache.add_core(first)
+        assert cache.add_core(second)
+        assert cache.has_cores()
+        # find_core probes every shard: both cores are reachable even
+        # though they live in different files.
+        assert cache.find_core(_digests(1, 2, 9)) == first
+        assert cache.find_core(_digests(3, 4, 5, 6)) == second
+        assert cache.find_core(_digests(7)) is None
+
+    def test_meta_pins_shard_count(self, tmp_path):
+        ShardedSolveCache(str(tmp_path / "s"), shards=2).save(force=True)
+        reopened = ShardedSolveCache(str(tmp_path / "s"), shards=8)
+        assert reopened.shards == 2  # the recorded layout wins
+
+    def test_garbled_meta_falls_back_to_default_layout(self, tmp_path):
+        target = tmp_path / "s"
+        ShardedSolveCache(str(target), shards=2)
+        (target / "meta.json").write_text("{not json", encoding="utf-8")
+        assert ShardedSolveCache(str(target)).shards == DEFAULT_SHARDS
+
+    def test_default_shard_count(self, tmp_path):
+        assert ShardedSolveCache(str(tmp_path / "s")).shards == DEFAULT_SHARDS
+
+
+# -- batched flushes ---------------------------------------------------------
+
+
+class TestBatchedFlush:
+    def test_save_flushes_only_dirty_shards(self, tmp_path):
+        cache = ShardedSolveCache(str(tmp_path / "s"), shards=4)
+        cache.put(_key(0, shard=1), _entry())
+        cache.put(_key(1, shard=1), _entry())
+        cache.put(_key(0, shard=3), _entry())
+        assert cache.save() == 2  # shards 1 and 3
+        assert cache.save() == 0  # nothing dirty anymore
+        cache.put(_key(2, shard=1), _entry())
+        assert cache.save() == 1
+
+    def test_force_flushes_everything(self, tmp_path):
+        cache = ShardedSolveCache(str(tmp_path / "s"), shards=3)
+        assert cache.save(force=True) == 3
+        for index in range(3):
+            assert (tmp_path / "s" / f"shard-{index:02d}.json").exists()
+
+    def test_clear_empties_all_shards_persistently(self, tmp_path):
+        cache = ShardedSolveCache(str(tmp_path / "s"), shards=2)
+        for index in range(8):
+            cache.put(_key(index), _entry())
+        cache.save()
+        cache.clear()
+        # clear() persists with merge=False: a reopen must not
+        # resurrect what was just dropped.
+        assert len(ShardedSolveCache(str(tmp_path / "s"))) == 0
+
+
+# -- per-shard quarantine ----------------------------------------------------
+
+
+class TestQuarantine:
+    def test_one_corrupt_shard_never_takes_down_the_store(self, tmp_path):
+        target = tmp_path / "s"
+        cache = ShardedSolveCache(str(target), shards=4)
+        keys = [_key(i, shard=s) for s in range(4) for i in range(3)]
+        for key in keys:
+            cache.put(key, _entry())
+        cache.save()
+        (target / "shard-02.json").write_text("garbage{{{", encoding="utf-8")
+        reopened = ShardedSolveCache(str(target))
+        # Shard 2's entries are gone (quarantined aside), the other nine
+        # survive, and nothing raised.
+        assert len(reopened) == 9
+        assert (target / "shard-02.json.corrupt").exists()
+        for key in keys:
+            if cache._shard_for_key(key) is not cache._stores[2]:
+                assert reopened.get(key) == _entry()
+
+
+# -- two writers, one store --------------------------------------------------
+
+
+def _writer_process(path, prefix, count, barrier):
+    cache = SolveCache(path=path)
+    for index in range(count):
+        cache.put(f"{prefix}{index:06x}aa", _entry(work=index))
+    barrier.wait()
+    cache.save()
+
+
+class TestTwoWriters:
+    def test_merge_on_save_keeps_both_writers_entries(self, tmp_path):
+        path = str(tmp_path / "shared.json")
+        ours = SolveCache(path=path)
+        theirs = SolveCache(path=path)
+        ours.put(_key(1), _entry(work=1))
+        theirs.put(_key(2), _entry(work=2))
+        theirs.save()
+        ours.save()  # last writer: must merge, not clobber
+        merged = SolveCache(path=path)
+        assert merged.get(_key(1)) == _entry(work=1)
+        assert merged.get(_key(2)) == _entry(work=2)
+
+    def test_clear_does_not_merge_back_disk_state(self, tmp_path):
+        path = str(tmp_path / "shared.json")
+        cache = SolveCache(path=path)
+        cache.put(_key(1), _entry())
+        cache.save()
+        cache.clear()
+        assert len(SolveCache(path=path)) == 0
+
+    def test_merge_skips_checksum_failures(self, tmp_path):
+        path = str(tmp_path / "shared.json")
+        seed = SolveCache(path=path)
+        seed.put(_key(1), _entry(work=1))
+        seed.put(_key(2), _entry(work=2))
+        seed.save()
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["entries"][_key(1)]["work"] = 999  # bit-rot, checksum now wrong
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        other = SolveCache()  # no path: save(path=...) writes explicitly
+        other.put(_key(3), _entry(work=3))
+        other.save(path=path)
+        merged = SolveCache(path=path)
+        assert merged.get(_key(1)) is None  # rotten entry not rescued
+        assert merged.get(_key(2)) == _entry(work=2)
+        assert merged.get(_key(3)) == _entry(work=3)
+
+    def test_merge_preserves_cores(self, tmp_path):
+        path = str(tmp_path / "shared.json")
+        ours = SolveCache(path=path)
+        theirs = SolveCache(path=path)
+        ours.add_core(_digests(1, 2))
+        theirs.add_core(_digests(3, 4))
+        theirs.save()
+        ours.save()
+        merged = SolveCache(path=path)
+        assert merged.find_core(_digests(1, 2, 5)) == _digests(1, 2)
+        assert merged.find_core(_digests(3, 4, 5)) == _digests(3, 4)
+
+    def test_two_processes_flush_the_same_shard(self, tmp_path):
+        # The real drill: two OS processes race save() on one file. The
+        # advisory lock serializes the read-merge-write cycles, so both
+        # result sets land regardless of who wins the race.
+        path = str(tmp_path / "contested.json")
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        barrier = context.Barrier(2)
+        writers = [
+            context.Process(target=_writer_process, args=(path, prefix, 20, barrier))
+            for prefix in ("aa", "bb")
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join(timeout=30)
+            assert process.exitcode == 0
+        merged = SolveCache(path=path)
+        assert len(merged) == 40
+        for prefix in ("aa", "bb"):
+            for index in range(20):
+                assert merged.get(f"{prefix}{index:06x}aa") == _entry(work=index)
+
+    def test_two_sharded_stores_interleave_without_loss(self, tmp_path):
+        target = str(tmp_path / "s")
+        first = ShardedSolveCache(target, shards=2)
+        second = ShardedSolveCache(target, shards=2)
+        for index in range(10):
+            first.put(_key(index, shard=index % 2, shards=2), _entry(work=index))
+            second.put(
+                _key(100 + index, shard=index % 2, shards=2), _entry(work=100 + index)
+            )
+        first.save()
+        second.save()
+        merged = ShardedSolveCache(target)
+        assert merged.shards == 2
+        assert len(merged) == 20
+
+    def test_no_lock_files_leak_into_entries(self, tmp_path):
+        path = str(tmp_path / "shared.json")
+        cache = SolveCache(path=path)
+        cache.put(_key(1), _entry())
+        cache.save()
+        # The advisory lock uses a sibling .lock file; it must never be
+        # mistaken for cache payload by a reopen of the directory.
+        siblings = sorted(os.listdir(tmp_path))
+        assert "shared.json" in siblings
+        reopened = SolveCache(path=path)
+        assert len(reopened) == 1
