@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Deterministic propagation-throughput gate for the perf CI job.
+
+Compares a fresh bench artifact against a checked-in baseline and fails
+when the SAT core's propagation throughput regresses. Both sides are
+*deterministic* sections -- no wall clock is involved -- so the gate is
+exact and machine-independent:
+
+- every baseline case must be present with the same cold verdict (a
+  speedup that changes answers is not a speedup);
+- the case's propagations-per-unit-of-deterministic-work fraction
+  (``solver.propagations / cold.work``) must not fall below the
+  baseline's. Work is ``propagations + 10*conflicts + decisions``, so a
+  falling fraction means the search now spends its budget on conflicts
+  and decisions instead of cheap propagation -- the per-propagation
+  cost regression this gate exists to catch.
+
+A PR that legitimately changes search behaviour regenerates the
+baselines (same review model as ``staub bench --compare``): the new
+counters are then visible in the diff.
+
+Usage: python scripts/prop_gate.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+PROPS = "solver.propagations"
+
+
+def case_fraction(case):
+    """Propagations per unit of deterministic work, or None when the
+    case never reached the SAT core (e.g. closed by preprocessing)."""
+    props = case.get("counters", {}).get(PROPS, 0)
+    work = case.get("cold", {}).get("work", 0)
+    if not props or not work:
+        return None
+    return props / work
+
+
+def gate(current, baseline):
+    failures = []
+    reports = []
+    current_cases = current.get("deterministic", {}).get("cases", {})
+    baseline_cases = baseline.get("deterministic", {}).get("cases", {})
+    for name in sorted(baseline_cases):
+        base = baseline_cases[name]
+        cur = current_cases.get(name)
+        if cur is None:
+            failures.append(f"{name}: case missing from current artifact")
+            continue
+        base_verdict = base.get("cold", {}).get("verdict")
+        cur_verdict = cur.get("cold", {}).get("verdict")
+        if cur_verdict != base_verdict:
+            failures.append(
+                f"{name}: verdict changed {base_verdict!r} -> {cur_verdict!r}"
+            )
+            continue
+        base_fraction = case_fraction(base)
+        cur_fraction = case_fraction(cur)
+        if base_fraction is None:
+            reports.append(f"{name}: no SAT propagation in baseline, skipped")
+            continue
+        if cur_fraction is None:
+            failures.append(
+                f"{name}: baseline propagated, current artifact did not"
+            )
+            continue
+        status = "ok" if cur_fraction >= base_fraction else "REGRESSED"
+        reports.append(
+            f"{name}: props/work {base_fraction:.4f} -> {cur_fraction:.4f} "
+            f"[{status}]"
+        )
+        if cur_fraction < base_fraction:
+            failures.append(
+                f"{name}: propagation fraction fell "
+                f"{base_fraction:.4f} -> {cur_fraction:.4f}"
+            )
+    return failures, reports
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        current = json.load(handle)
+    with open(argv[2]) as handle:
+        baseline = json.load(handle)
+    if current.get("suite") != baseline.get("suite"):
+        print(
+            f"suite mismatch: {current.get('suite')!r} vs "
+            f"{baseline.get('suite')!r}",
+            file=sys.stderr,
+        )
+        return 2
+    failures, reports = gate(current, baseline)
+    for line in reports:
+        print(line)
+    if failures:
+        print(f"\npropagation gate FAILED ({len(failures)}):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\npropagation gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,7 +33,14 @@ class BlastStats:
     byte-identical.
     """
 
-    __slots__ = ("and_gates", "xor_gates", "mux_gates", "gate_cache_hits", "const_folds")
+    __slots__ = (
+        "and_gates",
+        "xor_gates",
+        "mux_gates",
+        "gate_cache_hits",
+        "const_folds",
+        "block_reuse",
+    )
 
     def __init__(self):
         self.and_gates = 0
@@ -41,6 +48,10 @@ class BlastStats:
         self.mux_gates = 0
         self.gate_cache_hits = 0
         self.const_folds = 0
+        # Clauses *not* re-emitted thanks to gate-cache structure sharing:
+        # each cache hit reuses the arena block span recorded when the
+        # gate was first blasted.
+        self.block_reuse = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -66,6 +77,13 @@ class BitBlaster:
         self._or_cache = {}
         self._xor_cache = {}
         self._trunc_cache = {}
+        # Gate-cache entry -> (first, last) clause *indices* of the block
+        # emitted for it. Indices (not arena offsets) survive arena
+        # compaction without remapping; resolve offsets on demand via
+        # ``cnf.clause_ref``. This is what makes the structure sharing
+        # observable: a refinement round whose gates all hit the caches
+        # allocates zero new blocks.
+        self._block_spans = {}
         self.stats = BlastStats()
 
     # -- gate layer ------------------------------------------------------
@@ -79,6 +97,17 @@ class BitBlaster:
         return -self._true
 
     def _gate_and(self, a, b):
+        # Cache first: hits dominate, and a foldable pair is never cached
+        # (only non-constant, distinct operand pairs are emitted), so
+        # checking the cache before the const-fold guard cannot change
+        # any result.
+        key = (a, b) if a < b else (b, a)
+        out = self._and_cache.get(key)
+        if out is not None:
+            if telemetry.enabled:
+                self.stats.gate_cache_hits += 1
+                self.stats.block_reuse += 3
+            return out
         if (
             a == self._true
             or b == self._true
@@ -98,24 +127,31 @@ class BitBlaster:
             if a == b:
                 return a
             return -self._true  # a == -b
-        key = (min(a, b), max(a, b))
-        out = self._and_cache.get(key)
-        if out is None:
-            out = self.cnf.new_var()
-            self.cnf.add_clause([-out, a])
-            self.cnf.add_clause([-out, b])
-            self.cnf.add_clause([out, -a, -b])
-            self._and_cache[key] = out
-            if telemetry.enabled:
-                self.stats.and_gates += 1
-        elif telemetry.enabled:
-            self.stats.gate_cache_hits += 1
+        out = self.cnf.new_var()
+        start = len(self.cnf)
+        # The const-fold guard above proves a, b, out pairwise distinct
+        # and non-complementary: emit without rescanning.
+        emit = self.cnf.emit_clause
+        emit([-out, a])
+        emit([-out, b])
+        emit([out, -a, -b])
+        self._and_cache[key] = out
+        self._block_spans[("and", key)] = (start, len(self.cnf))
+        if telemetry.enabled:
+            self.stats.and_gates += 1
         return out
 
     def _gate_or(self, a, b):
         return -self._gate_and(-a, -b)
 
     def _gate_xor(self, a, b):
+        cache_key = (a, b) if a < b else (b, a)
+        out = self._xor_cache.get(cache_key)
+        if out is not None:
+            if telemetry.enabled:
+                self.stats.gate_cache_hits += 1
+                self.stats.block_reuse += 4
+            return out
         if (
             a == self._true
             or b == self._true
@@ -137,19 +173,17 @@ class BitBlaster:
             if a == b:
                 return -self._true
             return self._true  # a == -b
-        cache_key = (min(a, b), max(a, b))
-        out = self._xor_cache.get(cache_key)
-        if out is None:
-            out = self.cnf.new_var()
-            self.cnf.add_clause([-out, a, b])
-            self.cnf.add_clause([-out, -a, -b])
-            self.cnf.add_clause([out, -a, b])
-            self.cnf.add_clause([out, a, -b])
-            self._xor_cache[cache_key] = out
-            if telemetry.enabled:
-                self.stats.xor_gates += 1
-        elif telemetry.enabled:
-            self.stats.gate_cache_hits += 1
+        out = self.cnf.new_var()
+        start = len(self.cnf)
+        emit = self.cnf.emit_clause
+        emit([-out, a, b])
+        emit([-out, -a, -b])
+        emit([out, -a, b])
+        emit([out, a, -b])
+        self._xor_cache[cache_key] = out
+        self._block_spans[("xor", cache_key)] = (start, len(self.cnf))
+        if telemetry.enabled:
+            self.stats.xor_gates += 1
         return out
 
     def _gate_mux(self, select, if_true, if_false):
@@ -613,6 +647,18 @@ class BitBlaster:
         literal = self.blast_bool(term)
         self.cnf.add_clause([literal])
 
+    def block_spans(self):
+        """Gate-cache entry -> ``(first, last)`` clause-index span.
+
+        Each entry names the contiguous block of CNF clauses emitted when
+        the gate (or truncation ladder) was first blasted; later cache
+        hits reuse the block instead of re-emitting it. Spans are clause
+        *indices* into ``self.cnf``, so they stay valid across arena
+        compaction; map to live arena offsets with
+        ``self.cnf.clause_ref(i)``.
+        """
+        return dict(self._block_spans)
+
     def variable_bits(self, name):
         """The allocated literal vector of a bitvector variable, or None.
 
@@ -656,11 +702,16 @@ class BitBlaster:
         literal = self._trunc_cache.get(key)
         if literal is None:
             literal = self.cnf.new_var()
+            start = len(self.cnf)
             sign = bits[width - 1]
             for high in bits[width:]:
                 self.cnf.add_clause([-literal, -high, sign])
                 self.cnf.add_clause([-literal, high, -sign])
             self._trunc_cache[key] = literal
+            self._block_spans[("trunc", key)] = (start, len(self.cnf))
+        elif telemetry.enabled:
+            span = self._block_spans[("trunc", key)]
+            self.stats.block_reuse += span[1] - span[0]
         return literal
 
     def extract_value(self, name, sort, sat_model):

@@ -96,14 +96,10 @@ def solve_bounded_script(script, max_work=None, max_conflicts=None):
     if max_work is not None:
         sat_budget = max(0, max_work - blast_work)
 
-    solver = SatSolver(blaster.cnf.num_vars)
-    trivially_unsat = False
-    for clause in blaster.cnf.clauses:
-        if not solver.add_clause(clause):
-            trivially_unsat = True
-            break
-
-    if trivially_unsat:
+    # Structure sharing: the solver watches the blaster's arena blocks in
+    # place -- no per-clause copy between blasting and solving.
+    solver = SatSolver(cnf=blaster.cnf)
+    if not solver.attach():
         return BoundedResult(
             "unsat",
             None,
@@ -167,13 +163,12 @@ def extract_assertion_core(script, max_work=None, max_conflicts=None):
             owners[literal].append(index)
         blast_work = BLAST_WORK_PER_CLAUSE * len(blaster.cnf.clauses)
         span.add_work(blast_work)
-        solver = SatSolver(blaster.cnf.num_vars)
-        for clause in blaster.cnf.clauses:
-            if not solver.add_clause(clause):
-                # Definitional clauses alone are contradictory: a root-
-                # level conflict, not attributable to any assertion.
-                span.set_attr("status", "root-conflict")
-                return None
+        solver = SatSolver(cnf=blaster.cnf)
+        if not solver.attach():
+            # Definitional clauses alone are contradictory: a root-
+            # level conflict, not attributable to any assertion.
+            span.set_attr("status", "root-conflict")
+            return None
         sat_budget = None
         if max_work is not None:
             sat_budget = max(0, max_work - blast_work)
@@ -315,7 +310,7 @@ class IncrementalBoundedSession:
                 prefix="blast",
                 engine="bv-incremental",
             )
-        self.solver = SatSolver(self.blaster.cnf.num_vars)
+        self.solver = SatSolver(cnf=self.blaster.cnf)
         self._synced = 0
         self._root_unsat = False
         self.rounds = 0
@@ -338,17 +333,15 @@ class IncrementalBoundedSession:
         return self._root_unsat or not self.solver.okay()
 
     def _sync(self):
-        """Feed clauses produced since the previous round to the solver."""
-        clauses = self.blaster.cnf.clauses
-        added = 0
-        while self._synced < len(clauses):
-            clause = clauses[self._synced]
-            self._synced += 1
-            added += 1
-            if not self._root_unsat and not self.solver.add_clause(clause):
+        """Attach clauses produced since the previous round in place."""
+        cnf = self.blaster.cnf
+        added = len(cnf) - self._synced
+        if added:
+            if not self.solver.attach(start=self._synced) and not self._root_unsat:
                 self._root_unsat = True
-        if self.solver.num_vars < self.blaster.cnf.num_vars:
-            self.solver.grow_to(self.blaster.cnf.num_vars)
+            self._synced = len(cnf)
+        if self.solver.num_vars < cnf.num_vars:
+            self.solver.grow_to(cnf.num_vars)
         return added
 
     def solve_round(self, widths, guard_width=None, max_work=None, max_conflicts=None):

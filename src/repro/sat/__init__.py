@@ -3,18 +3,22 @@
 This is the engine underneath the bounded (bitvector) side of the theory
 arbitrage: bit-blasted constraints become CNF and are solved here.
 
-- :mod:`repro.sat.cnf` -- CNF container, fresh-variable allocation,
-  DIMACS I/O.
+- :mod:`repro.sat.arena` -- flat clause arena shared by the blaster and
+  the solver (offset-identified clause blocks, compaction).
+- :mod:`repro.sat.cnf` -- arena-backed CNF container, fresh-variable
+  allocation, DIMACS I/O.
 - :mod:`repro.sat.solver` -- conflict-driven clause learning with
   two-watched-literal propagation, VSIDS branching, phase saving, Luby
   restarts, learned-clause reduction, assumptions, and a deterministic
   work budget used for reproducible "timeouts".
 """
 
+from repro.sat.arena import ClauseArena
 from repro.sat.cnf import CNF, parse_dimacs, to_dimacs
 from repro.sat.solver import SAT, UNSAT, UNKNOWN, SatSolver, SatStats
 
 __all__ = [
+    "ClauseArena",
     "CNF",
     "parse_dimacs",
     "to_dimacs",

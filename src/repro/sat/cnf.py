@@ -1,24 +1,78 @@
-"""CNF formulas in DIMACS literal convention.
+"""CNF formulas in DIMACS literal convention, stored in a clause arena.
 
 Variables are positive integers ``1..num_vars``; a literal is ``v`` or
-``-v``. Clauses are tuples of literals. The container also provides fresh
-variable allocation for Tseitin encoding and DIMACS import/export.
+``-v``. Clauses live in a single flat :class:`~repro.sat.arena.ClauseArena`
+(solver-internal literal encoding) instead of per-clause tuples; the
+``clauses`` attribute is a sequence view that decodes blocks to DIMACS
+tuples on access, so existing consumers (`cnf.clauses[i]`, iteration,
+equality against lists of tuples) keep working while a
+:class:`~repro.sat.solver.SatSolver` can attach to the arena in place and
+watch the blocks without copying a single literal.
+
+The container also provides fresh variable allocation for Tseitin
+encoding and DIMACS import/export.
 """
 
 from repro.errors import ParseError
+from repro.sat.arena import ClauseArena
+
+
+class _ClauseView:
+    """Read-only sequence of DIMACS clause tuples over an arena.
+
+    One view instance per CNF; it reflects the CNF's live state. Equality
+    compares element-wise against any sequence of clause tuples, which is
+    what the test-suite and DIMACS round-trip checks rely on.
+    """
+
+    __slots__ = ("_cnf",)
+
+    def __init__(self, cnf):
+        self._cnf = cnf
+
+    def __len__(self):
+        return len(self._cnf._refs)
+
+    def __getitem__(self, index):
+        cnf = self._cnf
+        if isinstance(index, slice):
+            return [cnf.arena.dimacs(ref) for ref in cnf._refs[index]]
+        return cnf.arena.dimacs(cnf._refs[index])
+
+    def __iter__(self):
+        arena = self._cnf.arena
+        for ref in self._cnf._refs:
+            yield arena.dimacs(ref)
+
+    def __eq__(self, other):
+        if isinstance(other, _ClauseView):
+            if other._cnf is self._cnf:
+                return True
+            other = list(other)
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        return len(self) == len(other) and all(
+            mine == tuple(theirs) for mine, theirs in zip(self, other)
+        )
+
+    def __repr__(self):
+        return f"_ClauseView({list(self)!r})"
 
 
 class CNF:
-    """A growable CNF formula.
+    """A growable CNF formula backed by a clause arena.
 
     Attributes:
-        clauses: list of clauses, each a tuple of non-zero ints.
+        arena: the flat clause store (internal literal encoding).
+        clauses: sequence view of the clauses as DIMACS tuples.
         num_vars: highest variable index allocated or mentioned.
     """
 
     def __init__(self, num_vars=0):
-        self.clauses = []
+        self.arena = ClauseArena()
+        self._refs = []  # arena reference per clause, in insertion order
         self.num_vars = num_vars
+        self.clauses = _ClauseView(self)
 
     def new_var(self):
         """Allocate and return a fresh variable index."""
@@ -27,38 +81,128 @@ class CNF:
 
     def new_vars(self, count):
         """Allocate ``count`` fresh variables, returned as a list."""
-        return [self.new_var() for _ in range(count)]
+        base = self.num_vars
+        self.num_vars = base + count
+        return list(range(base + 1, base + count + 1))
 
     def add_clause(self, literals):
         """Add one clause; tracks ``num_vars`` automatically.
 
         Duplicate literals are removed; tautological clauses (containing
-        both ``v`` and ``-v``) are silently dropped.
+        both ``v`` and ``-v``) are silently dropped. Returns the clause's
+        index, or None when the clause was a dropped tautology.
+
+        Binary and ternary clauses -- the bit-blaster's gate emissions,
+        i.e. nearly everything on the emit path -- take branch-only fast
+        paths; the set-based scan only runs for other sizes. Both paths
+        inline ``encode_literal`` and the arena block append.
         """
-        seen = set()
-        clause = []
-        for literal in literals:
-            if literal == 0:
+        if type(literals) is not list and type(literals) is not tuple:
+            literals = list(literals)
+        count = len(literals)
+        if count == 3:
+            a, b, c = literals
+            if a == 0 or b == 0 or c == 0:
                 raise ValueError("0 is not a valid DIMACS literal")
-            if literal in seen:
-                continue
-            if -literal in seen:
-                return  # tautology
-            seen.add(literal)
-            clause.append(literal)
-            if abs(literal) > self.num_vars:
-                self.num_vars = abs(literal)
-        self.clauses.append(tuple(clause))
+            if a == -b or a == -c or b == -c:
+                return None  # tautology
+            clause = [2 * a - 2 if a > 0 else -2 * a - 1]
+            if b != a:
+                clause.append(2 * b - 2 if b > 0 else -2 * b - 1)
+            if c != a and c != b:
+                clause.append(2 * c - 2 if c > 0 else -2 * c - 1)
+            top = a if a > 0 else -a
+            if b < 0:
+                b = -b
+            if b > top:
+                top = b
+            if c < 0:
+                c = -c
+            if c > top:
+                top = c
+            if top > self.num_vars:
+                self.num_vars = top
+        elif count == 2:
+            a, b = literals
+            if a == 0 or b == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if a == -b:
+                return None  # tautology
+            clause = [2 * a - 2 if a > 0 else -2 * a - 1]
+            if b != a:
+                clause.append(2 * b - 2 if b > 0 else -2 * b - 1)
+            top = a if a > 0 else -a
+            if b < 0:
+                b = -b
+            if b > top:
+                top = b
+            if top > self.num_vars:
+                self.num_vars = top
+        else:
+            seen = set()
+            clause = []
+            num_vars = self.num_vars
+            for literal in literals:
+                if literal == 0:
+                    raise ValueError("0 is not a valid DIMACS literal")
+                if literal in seen:
+                    continue
+                if -literal in seen:
+                    return None  # tautology
+                seen.add(literal)
+                if literal > 0:
+                    clause.append(2 * literal - 2)
+                    if literal > num_vars:
+                        num_vars = literal
+                else:
+                    clause.append(-2 * literal - 1)
+                    if -literal > num_vars:
+                        num_vars = -literal
+            self.num_vars = num_vars
+        data = self.arena.data
+        data.append(-1)  # activity slot: problem clause
+        data.append(0)  # flags
+        data.append(len(clause))
+        reference = len(data)
+        data.extend(clause)
+        index = len(self._refs)
+        self._refs.append(reference)
+        return index
+
+    def emit_clause(self, literals):
+        """Append a clause the caller guarantees is well-formed: distinct
+        non-tautological DIMACS literals over already-allocated
+        variables. Used by the bit-blaster's gate emissions, whose
+        const-fold guards establish exactly those properties; everything
+        else goes through :meth:`add_clause`."""
+        data = self.arena.data
+        data.append(-1)  # activity slot: problem clause
+        data.append(0)  # flags
+        data.append(len(literals))
+        reference = len(data)
+        for literal in literals:
+            data.append(2 * literal - 2 if literal > 0 else -2 * literal - 1)
+        index = len(self._refs)
+        self._refs.append(reference)
+        return index
 
     def extend(self, clause_iterable):
         for clause in clause_iterable:
             self.add_clause(clause)
 
+    def clause_ref(self, index):
+        """Arena reference of clause ``index`` (for attached solvers)."""
+        return self._refs[index]
+
+    def remap_refs(self, mapping):
+        """Rewrite stored references after an arena compaction."""
+        self._refs = [mapping[ref] for ref in self._refs]
+
     def __len__(self):
-        return len(self.clauses)
+        return len(self._refs)
 
     def __repr__(self):
-        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+        return f"CNF(vars={self.num_vars}, clauses={len(self._refs)})"
 
 
 def to_dimacs(cnf):

@@ -1,31 +1,62 @@
-"""A conflict-driven clause learning (CDCL) SAT solver.
+"""A conflict-driven clause learning (CDCL) SAT solver on flat arrays.
 
 A faithful MiniSat-style architecture in pure Python:
 
-- two-watched-literal unit propagation;
+- a single clause arena (:class:`~repro.sat.arena.ClauseArena`): every
+  clause is a block of flat integer words, identified by its arena
+  offset -- no per-clause list objects, no ``id()``-based identity;
+- two-watched-literal unit propagation over flat watch lists (pairs of
+  ``[entry, partner]`` words; a binary clause stores its negated offset
+  plus the other literal, so binary visits never touch the arena);
 - first-UIP conflict analysis with clause minimization;
 - VSIDS variable activities with a heap-backed variable order and phase
-  saving;
+  saving; learned-clause activities live in a slot table indexed from
+  the clause header;
 - Luby-sequence restarts;
-- learned-clause database reduction driven by clause activity and LBD;
-- incremental solving under assumptions with final-conflict (unsat core)
-  extraction over the assumption set;
+- learned-clause database reduction driven by clause activity, with an
+  O(1) locked-clause check (a clause serving as a reason is never
+  reclaimed) and arena compaction once half the arena is dead space;
+- incremental solving under assumptions with final-conflict (unsat
+  core) extraction over the assumption set;
 - a deterministic work budget (propagation count) so that "timeouts" are
   reproducible across machines -- the evaluation harness uses this as its
   virtual clock.
 
 Literals use the DIMACS convention externally (``v`` / ``-v``) and are
-mapped internally to ``2*v`` / ``2*v+1``.
+mapped internally to ``2*(v-1)`` / ``2*(v-1)+1``.
+
+Key invariants (relied on throughout; see also README "SAT core
+internals"):
+
+- Watch positions are literals 0 and 1 of a block. Propagation may
+  reorder literals *within* a block but never changes its offset.
+- For blocks of size > 2, a reason block's literal 0 is the literal it
+  implied. Propagation cannot displace it while the implication holds
+  (a reason's first literal is true, and only false literals are
+  swapped out of the watch positions), which is what makes the locked
+  check ``lit_val[data[c]] > 0 and reason[data[c] >> 1] == c`` exact.
+  Binary clauses propagate straight from the watch pair without
+  normalizing the block, so either literal of a size-2 block may be the
+  implied one; ``is_locked`` checks both.
+- Detaching a locked clause is deferred: the offset goes into a pending
+  set and the detach completes when backtracking unassigns the implied
+  literal. Until then the clause stays in both watch lists, so
+  propagation over it remains sound.
+- Compaction remaps every stored offset (watch pairs, reasons, learned
+  list, pending detaches, and the attached CNF's clause index) through
+  the mapping returned by the arena in one pass.
 """
 
 from repro import guard, telemetry
 from repro.errors import SolverError
+from repro.sat.arena import ClauseArena
 
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
 
-_UNASSIGNED = -1
+#: Reason sentinel: the variable was a decision or assumption.
+_NO_REASON = -1
 
 
 def luby(index):
@@ -83,41 +114,54 @@ class _VarOrder:
         self.heap = []
         self.position = {}
 
-    def _less(self, a, b, activity):
-        return activity[a] > activity[b]
-
-    def _swap(self, i, j):
-        heap = self.heap
-        heap[i], heap[j] = heap[j], heap[i]
-        self.position[heap[i]] = i
-        self.position[heap[j]] = j
+    # Both sifts move a hole instead of swapping pairs: the comparison
+    # sequence and the final heap array are identical to the swap-based
+    # formulation, but each step writes one slot instead of two and no
+    # helper calls sit on the bump/backtrack hot path.
 
     def _sift_up(self, index, activity):
         heap = self.heap
+        position = self.position
+        var = heap[index]
+        var_activity = activity[var]
         while index > 0:
             parent = (index - 1) >> 1
-            if self._less(heap[index], heap[parent], activity):
-                self._swap(index, parent)
+            parent_var = heap[parent]
+            if var_activity > activity[parent_var]:
+                heap[index] = parent_var
+                position[parent_var] = index
                 index = parent
             else:
                 break
+        heap[index] = var
+        position[var] = index
 
     def _sift_down(self, index, activity):
         heap = self.heap
+        position = self.position
         size = len(heap)
+        var = heap[index]
+        var_activity = activity[var]
         while True:
             left = 2 * index + 1
             if left >= size:
                 break
+            best_var = heap[left]
             best = left
             right = left + 1
-            if right < size and self._less(heap[right], heap[left], activity):
-                best = right
-            if self._less(heap[best], heap[index], activity):
-                self._swap(index, best)
+            if right < size:
+                right_var = heap[right]
+                if activity[right_var] > activity[best_var]:
+                    best_var = right_var
+                    best = right
+            if activity[best_var] > var_activity:
+                heap[index] = best_var
+                position[best_var] = index
                 index = best
             else:
                 break
+        heap[index] = var
+        position[var] = index
 
     def push(self, var, activity):
         if var in self.position:
@@ -149,7 +193,7 @@ class _VarOrder:
 class SatSolver:
     """CDCL solver over a fixed variable universe.
 
-    Typical use::
+    Typical standalone use::
 
         solver = SatSolver(num_vars)
         for clause in clauses:
@@ -157,17 +201,33 @@ class SatSolver:
         result = solver.solve(max_work=10**7)
         if result == SAT:
             model = solver.model()   # {var: bool}
+
+    Structure-shared use (zero-copy attach to a blasted CNF)::
+
+        solver = SatSolver(cnf=blaster.cnf)
+        solver.attach()              # watch all current clauses in place
+        ...
+        blaster.assert_term(more)    # emits into the same arena
+        solver.attach()              # pick up only the new clauses
+
+    An attached solver is the arena's single search consumer: it may
+    reorder literals *within* attached blocks (watch normalization), so
+    the CNF's clause view preserves clause sets, not literal order.
     """
 
-    def __init__(self, num_vars=0):
+    def __init__(self, num_vars=0, cnf=None):
+        self._cnf = cnf
+        self._arena = cnf.arena if cnf is not None else ClauseArena()
+        self._attached = 0  # CNF clauses already processed by attach()
         self.num_vars = 0
-        self._clauses = []  # problem clauses (lists of internal literals)
-        self._learned = []
-        self._watches = []  # literal -> list of clauses
-        self._assign = []  # literal -> True/False/None (value of literal)
-        self._var_value = []  # var -> _UNASSIGNED / 0 / 1
+        self._num_problem = 0  # watched problem clauses (reduce trigger)
+        self._learned_refs = []
+        self._cla_activity = []  # activity per slot (header word c-3)
+        self._free_slots = []
+        self._watches = []  # literal -> flat [entry, partner, ...] pairs
+        self._lit_val = []  # literal -> 1 true / -1 false / 0 unassigned
         self._level = []
-        self._reason = []
+        self._reason = []  # var -> arena offset or _NO_REASON
         self._trail = []
         self._trail_lim = []
         self._queue_head = 0
@@ -179,6 +239,7 @@ class SatSolver:
         self._order = _VarOrder()
         self._phase = []
         self._seen = []
+        self._pending_detach = set()
         self._ok = True
         self.stats = SatStats()
         # Deep-profile peaks, tracked only while telemetry is enabled
@@ -186,32 +247,43 @@ class SatSolver:
         # the deterministic work/stats contract of a result).
         self._deep_max_trail = 0
         self._deep_max_level = 0
-        self._conflict_budget = None
-        self._work_budget = None
         self._final_conflict = []
         self.grow_to(num_vars)
+        if cnf is not None:
+            self.grow_to(cnf.num_vars)
 
     # -- variable / clause management -----------------------------------
 
     def grow_to(self, num_vars):
-        """Ensure variables ``1..num_vars`` exist."""
-        while self.num_vars < num_vars:
-            self.new_var()
+        """Ensure variables ``1..num_vars`` exist.
+
+        Bulk-extends the per-variable arrays. Fresh variables carry zero
+        activity, so appending them to the heap tail in index order is
+        exactly what a sequence of ``_order.push`` calls would produce
+        (a zero-activity leaf never sifts up past its parent).
+        """
+        count = num_vars - self.num_vars
+        if count <= 0:
+            return
+        base = self.num_vars
+        self._watches.extend([] for _ in range(2 * count))
+        self._lit_val.extend([0] * (2 * count))
+        self._level.extend([0] * count)
+        self._reason.extend([_NO_REASON] * count)
+        self._activity.extend([0.0] * count)
+        self._phase.extend([0] * count)
+        self._seen.extend([False] * count)
+        heap = self._order.heap
+        position = self._order.position
+        for var in range(base, num_vars):
+            position[var] = len(heap)
+            heap.append(var)
+        self.num_vars = num_vars
 
     def new_var(self):
         """Allocate one fresh variable; returns its index."""
-        self.num_vars += 1
-        var = self.num_vars
-        self._watches.append([])  # positive literal watch list
-        self._watches.append([])  # negative literal watch list
-        self._var_value.append(_UNASSIGNED)
-        self._level.append(0)
-        self._reason.append(None)
-        self._activity.append(0.0)
-        self._phase.append(0)
-        self._seen.append(False)
-        self._order.push(var - 1, self._activity)
-        return var
+        self.grow_to(self.num_vars + 1)
+        return self.num_vars
 
     @staticmethod
     def _internal(literal):
@@ -224,10 +296,10 @@ class SatSolver:
         return -var if internal & 1 else var
 
     def _lit_value(self, internal):
-        value = self._var_value[internal >> 1]
-        if value == _UNASSIGNED:
+        value = self._lit_val[internal]
+        if value == 0:
             return None
-        return bool(value ^ (internal & 1))
+        return value > 0
 
     def add_clause(self, literals):
         """Add a problem clause (DIMACS literals). Returns False if the
@@ -247,177 +319,460 @@ class SatSolver:
                 continue
             if internal ^ 1 in seen:
                 return True  # tautology
-            value = self._lit_value(internal)
-            if value is True:
+            value = self._lit_val[internal]
+            if value > 0:
                 return True  # already satisfied at level 0
-            if value is False:
+            if value < 0:
                 continue  # falsified at level 0: drop the literal
             seen.add(internal)
             clause.append(internal)
+        return self._install_root(clause)
+
+    def attach(self, start=None):
+        """Watch the attached CNF's clauses in place, without copying.
+
+        Processes clauses ``start..`` (default: everything added since
+        the previous ``attach`` call). Each block is root-simplified by
+        *reading* it: satisfied blocks are skipped, blocks containing
+        root-false literals get a private simplified copy in the same
+        arena, everything else is watched at its original offset. Units
+        propagate immediately, exactly as a loop of ``add_clause`` calls
+        would. Returns False once the solver is root-unsatisfiable.
+        """
+        if self._cnf is None:
+            raise SolverError("attach() requires a solver constructed with cnf=")
+        if start is None:
+            start = self._attached
+        cnf = self._cnf
+        self.grow_to(cnf.num_vars)
+        self._attached = len(cnf)
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            self._backtrack(0)
+        arena = self._arena
+        data = arena.data
+        lit_val = self._lit_val
+        watches = self._watches
+        refs = cnf._refs
+        for index in range(start, len(cnf)):
+            ref = refs[index]
+            size = data[ref - 1]
+            satisfied = False
+            has_false = False
+            for k in range(ref, ref + size):
+                value = lit_val[data[k]]
+                if value:
+                    if value > 0:
+                        satisfied = True
+                        break
+                    has_false = True
+            if satisfied:
+                continue
+            if not has_false:
+                if size >= 2:
+                    # Common case, inlined _install_root/_watch: watch
+                    # the untouched block in place.
+                    first = data[ref]
+                    second = data[ref + 1]
+                    entry = -ref if size == 2 else ref
+                    watch_list = watches[first ^ 1]
+                    watch_list.append(entry)
+                    watch_list.append(second)
+                    watch_list = watches[second ^ 1]
+                    watch_list.append(entry)
+                    watch_list.append(first)
+                    self._num_problem += 1
+                    continue
+                clause = None  # empty/unit block: full handling
+            else:
+                clause = [
+                    data[k] for k in range(ref, ref + size) if lit_val[data[k]] == 0
+                ]
+            if not self._install_root(clause, ref=ref):
+                return False
+        return True
+
+    def _install_root(self, clause, ref=None):
+        """Install a root-simplified clause: empty/unit handling, else
+        watch it. ``clause`` is internal literals, or None to watch the
+        pre-existing block ``ref`` unmodified."""
+        if clause is None:
+            size = self._arena.data[ref - 1]
+            if size == 0:
+                self._ok = False
+                return False
+            if size == 1:
+                return self._root_enqueue(self._arena.data[ref])
+            self._watch(ref)
+            self._num_problem += 1
+            return True
         if not clause:
             self._ok = False
             return False
         if len(clause) == 1:
-            if not self._enqueue(clause[0], None):
-                self._ok = False
-                return False
-            conflict = self._propagate()
-            if conflict is not None:
-                self._ok = False
-                return False
-            return True
-        self._attach(clause)
-        self._clauses.append(clause)
+            return self._root_enqueue(clause[0])
+        self._watch(self._arena.add(clause))
+        self._num_problem += 1
         return True
 
-    def _attach(self, clause):
-        self._watches[clause[0] ^ 1].append(clause)
-        self._watches[clause[1] ^ 1].append(clause)
+    def _root_enqueue(self, internal):
+        if not self._enqueue(internal, _NO_REASON):
+            self._ok = False
+            return False
+        if self._propagate() is not None:
+            self._ok = False
+            return False
+        return True
+
+    def _watch(self, ref):
+        """Put a block in the watch lists of its first two literals.
+
+        Watch lists are flat ``[entry, partner]`` pairs. Binary clauses
+        store ``-ref`` as the entry with the partner literal alongside:
+        since a binary clause's partner can never change, propagation
+        resolves it from the pair alone with zero arena reads. Longer
+        clauses store ``ref``; their partner slot is only a debugging
+        hint (the current partner is re-read from the block), so a
+        stale value is harmless.
+        """
+        data = self._arena.data
+        first = data[ref]
+        second = data[ref + 1]
+        entry = -ref if data[ref - 1] == 2 else ref
+        watch_list = self._watches[first ^ 1]
+        watch_list.append(entry)
+        watch_list.append(second)
+        watch_list = self._watches[second ^ 1]
+        watch_list.append(entry)
+        watch_list.append(first)
 
     # -- assignment and propagation --------------------------------------
 
-    def _enqueue(self, internal, reason):
-        value = self._lit_value(internal)
-        if value is not None:
-            return value
+    def _enqueue(self, internal, reason_ref=_NO_REASON):
+        value = self._lit_val[internal]
+        if value:
+            return value > 0
+        self._lit_val[internal] = 1
+        self._lit_val[internal ^ 1] = -1
         var = internal >> 1
-        self._var_value[var] = 0 if internal & 1 else 1
         self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
+        self._reason[var] = reason_ref
         self._trail.append(internal)
         return True
 
     def _propagate(self):
-        """Unit propagation. Returns the conflicting clause or None.
+        """Unit propagation. Returns the conflicting clause offset or None.
 
-        This is the solver's hot loop; locals are bound aggressively and
-        literal values are computed inline rather than through
-        ``_lit_value`` (worth ~2x wall time on large bit-blasted CNFs).
+        This is the solver's hot loop, and it is *search-path identical*
+        to a clause-object implementation that visits each watch list in
+        order: same enqueues in the same order, same conflicts -- only
+        cheaper per visit.
+
+        - Binary clauses (negative entries) resolve from the pair alone:
+          zero arena reads on the satisfied and implied paths.
+        - Longer clauses re-read their two watch slots; a satisfied
+          partner keeps the watcher with the normalization swap
+          *deferred* (the next normalizing visit canonicalizes the block
+          identically, and analysis only ever reads blocks that were
+          normalized by the visit that returned or enqueued them).
+        - The scan is two-phase: until the first watcher moves away,
+          kept pairs need no list writes at all; after the first move
+          the tail is compacted in place with a write pointer.
         """
         watches = self._watches
-        var_value = self._var_value
+        lit_val = self._lit_val
+        data = self._arena.data
         trail = self._trail
-        stats = self.stats
         level_count = len(self._trail_lim)
         level = self._level
         reason = self._reason
-        while self._queue_head < len(trail):
-            literal = trail[self._queue_head]
-            self._queue_head += 1
-            stats.propagations += 1
+        head = self._queue_head
+        trail_len = len(trail)
+        propagated = 0
+        while head < trail_len:
+            literal = trail[head]
+            head += 1
+            propagated += 1
             false_literal = literal ^ 1
             watch_list = watches[literal]
-            new_list = []
-            append_kept = new_list.append
-            index = 0
-            size = len(watch_list)
-            while index < size:
-                clause = watch_list[index]
-                index += 1
-                # Normalize: the false literal in position 1.
-                if clause[0] == false_literal:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                value = var_value[first >> 1]
-                # first is true?
-                if value >= 0 and bool(value ^ (first & 1)):
-                    append_kept(clause)
+            end = len(watch_list)
+            read = 0
+            # Phase 1: no watcher has moved away yet, so every pair keeps
+            # its position and the list needs no writes at all. The first
+            # relocation breaks into the compacting phase below.
+            while read < end:
+                clause = watch_list[read]
+                if clause < 0:
+                    # Binary clause: partner literal lives in the pair.
+                    partner = watch_list[read + 1]
+                    value = lit_val[partner]
+                    if value > 0:
+                        read += 2
+                        continue
+                    if value == 0:  # implied (inlined _enqueue)
+                        lit_val[partner] = 1
+                        lit_val[partner ^ 1] = -1
+                        partner_var = partner >> 1
+                        level[partner_var] = level_count
+                        reason[partner_var] = -clause
+                        trail.append(partner)
+                        trail_len += 1
+                        read += 2
+                        continue
+                    # Both literals false: conflict.
+                    ref = -clause
+                    if data[ref] == false_literal:
+                        # Normalize for conflict-analysis order.
+                        data[ref] = partner
+                        data[ref + 1] = false_literal
+                    self._queue_head = trail_len
+                    self.stats.propagations += propagated
+                    return ref
+                # Longer clause: the current partner is whichever watch
+                # slot is not the falsified literal.
+                partner = data[clause]
+                if partner == false_literal:
+                    partner = data[clause + 1]
+                partner_value = lit_val[partner]
+                if partner_value > 0:
+                    # Satisfied: keep the watcher, defer the swap.
+                    read += 2
                     continue
+                # Normalize: partner into slot 0, false literal into 1.
+                if data[clause] == false_literal:
+                    data[clause] = partner
+                    data[clause + 1] = false_literal
                 # Look for a new literal to watch.
-                found = False
-                for k in range(2, len(clause)):
-                    other = clause[k]
-                    other_value = var_value[other >> 1]
-                    if other_value < 0 or bool(other_value ^ (other & 1)):
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches[other ^ 1].append(clause)
-                        found = True
+                stop = clause + data[clause - 1]
+                k = clause + 2
+                while k < stop:
+                    other = data[k]
+                    if lit_val[other] >= 0:
+                        data[clause + 1] = other
+                        data[k] = false_literal
+                        moved = watches[other ^ 1]
+                        moved.append(clause)
+                        moved.append(partner)
                         break
-                if found:
+                    k += 1
+                else:
+                    # Unit or conflicting.
+                    if partner_value < 0:  # partner false too: conflict
+                        self._queue_head = trail_len
+                        self.stats.propagations += propagated
+                        return clause
+                    # Enqueue partner (inlined _enqueue).
+                    lit_val[partner] = 1
+                    lit_val[partner ^ 1] = -1
+                    partner_var = partner >> 1
+                    level[partner_var] = level_count
+                    reason[partner_var] = clause
+                    trail.append(partner)
+                    trail_len += 1
+                    read += 2
                     continue
-                # Unit or conflicting.
-                append_kept(clause)
-                if value >= 0:  # first is false: conflict
-                    new_list.extend(watch_list[index:])
-                    watches[literal] = new_list
-                    self._queue_head = len(trail)
-                    return clause
-                # Enqueue first (inlined _enqueue for the common path).
-                first_var = first >> 1
-                var_value[first_var] = 0 if first & 1 else 1
-                level[first_var] = level_count
-                reason[first_var] = clause
-                trail.append(first)
-            watches[literal] = new_list
+                # First relocation: fall through to the compacting phase.
+                write = read
+                read += 2
+                break
+            else:
+                continue  # phase 1 consumed the whole list
+            # Phase 2: at least one pair was dropped; keep compacting the
+            # tail in place with the write pointer.
+            while read < end:
+                clause = watch_list[read]
+                if clause < 0:
+                    partner = watch_list[read + 1]
+                    value = lit_val[partner]
+                    if value < 0:  # both literals false: conflict
+                        ref = -clause
+                        if data[ref] == false_literal:
+                            data[ref] = partner
+                            data[ref + 1] = false_literal
+                        while read < end:
+                            watch_list[write] = watch_list[read]
+                            watch_list[write + 1] = watch_list[read + 1]
+                            read += 2
+                            write += 2
+                        del watch_list[write:]
+                        self._queue_head = trail_len
+                        self.stats.propagations += propagated
+                        return ref
+                    if value == 0:  # implied (inlined _enqueue)
+                        lit_val[partner] = 1
+                        lit_val[partner ^ 1] = -1
+                        partner_var = partner >> 1
+                        level[partner_var] = level_count
+                        reason[partner_var] = -clause
+                        trail.append(partner)
+                        trail_len += 1
+                    watch_list[write] = clause
+                    watch_list[write + 1] = partner
+                    write += 2
+                    read += 2
+                    continue
+                partner = data[clause]
+                if partner == false_literal:
+                    partner = data[clause + 1]
+                partner_value = lit_val[partner]
+                if partner_value > 0:
+                    watch_list[write] = clause
+                    watch_list[write + 1] = partner
+                    write += 2
+                    read += 2
+                    continue
+                if data[clause] == false_literal:
+                    data[clause] = partner
+                    data[clause + 1] = false_literal
+                stop = clause + data[clause - 1]
+                k = clause + 2
+                while k < stop:
+                    other = data[k]
+                    if lit_val[other] >= 0:
+                        data[clause + 1] = other
+                        data[k] = false_literal
+                        moved = watches[other ^ 1]
+                        moved.append(clause)
+                        moved.append(partner)
+                        break
+                    k += 1
+                else:
+                    watch_list[write] = clause
+                    watch_list[write + 1] = partner
+                    write += 2
+                    if partner_value < 0:  # partner false too: conflict
+                        read += 2
+                        while read < end:
+                            watch_list[write] = watch_list[read]
+                            watch_list[write + 1] = watch_list[read + 1]
+                            read += 2
+                            write += 2
+                        del watch_list[write:]
+                        self._queue_head = trail_len
+                        self.stats.propagations += propagated
+                        return clause
+                    lit_val[partner] = 1
+                    lit_val[partner ^ 1] = -1
+                    partner_var = partner >> 1
+                    level[partner_var] = level_count
+                    reason[partner_var] = clause
+                    trail.append(partner)
+                    trail_len += 1
+                read += 2
+            del watch_list[write:]
+        self._queue_head = head
+        self.stats.propagations += propagated
         return None
 
     # -- conflict analysis ------------------------------------------------
 
     def _bump_var(self, var):
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
+        activity = self._activity
+        bumped = activity[var] + self._var_inc
+        activity[var] = bumped
+        if bumped > 1e100:
             for index in range(self.num_vars):
-                self._activity[index] *= 1e-100
+                activity[index] *= 1e-100
             self._var_inc *= 1e-100
-        self._order.update(var, self._activity)
+        order = self._order
+        index = order.position.get(var)
+        if index is not None:
+            order._sift_up(index, activity)
 
-    def _bump_clause(self, clause_info):
-        clause_info[1] += self._cla_inc
-        if clause_info[1] > 1e20:
-            for info in self._learned:
-                info[1] *= 1e-20
+    def _bump_clause(self, ref):
+        activity = self._cla_activity
+        slot = self._arena.data[ref - 3]
+        activity[slot] += self._cla_inc
+        if activity[slot] > 1e20:
+            for index in range(len(activity)):
+                activity[index] *= 1e-20
             self._cla_inc *= 1e-20
 
     def _analyze(self, conflict):
         """First-UIP learning. Returns (learned clause, backtrack level)."""
+        data = self._arena.data
         learned = [None]  # slot 0 reserved for the asserting literal
         seen = self._seen
+        level = self._level
+        trail = self._trail
+        reason = self._reason
+        activity = self._activity
+        var_inc = self._var_inc
+        order = self._order
+        position = order.position
+        sift_up = order._sift_up
         counter = 0
         literal = None
-        reason = conflict
-        index = len(self._trail) - 1
+        reason_ref = conflict
+        index = len(trail) - 1
         current_level = len(self._trail_lim)
         to_clear = []
 
         while True:
-            start = 0 if literal is None else 1
-            for k in range(start, len(reason)):
-                other = reason[k]
+            for k in range(reason_ref, reason_ref + data[reason_ref - 1]):
+                other = data[k]
+                # Skip the literal this reason implied (present in the
+                # block but resolved away). Matched by value, not by
+                # position: binary reasons propagate from the implication
+                # lists without normalizing the implied literal to slot 0.
+                if other == literal:
+                    continue
                 var = other >> 1
-                if not seen[var] and self._level[var] > 0:
+                if not seen[var] and level[var] > 0:
                     seen[var] = True
                     to_clear.append(var)
-                    self._bump_var(var)
-                    if self._level[var] >= current_level:
+                    # _bump_var, inlined (the rescale keeps self._var_inc
+                    # in sync with the local copy).
+                    bumped = activity[var] + var_inc
+                    activity[var] = bumped
+                    if bumped > 1e100:
+                        for rescaled in range(self.num_vars):
+                            activity[rescaled] *= 1e-100
+                        var_inc *= 1e-100
+                        self._var_inc = var_inc
+                    heap_index = position.get(var)
+                    if heap_index is not None:
+                        sift_up(heap_index, activity)
+                    if level[var] >= current_level:
                         counter += 1
                     else:
                         learned.append(other)
             # Select the next trail literal to resolve on.
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            literal = self._trail[index]
+            literal = trail[index]
             index -= 1
             var = literal >> 1
             seen[var] = False
             counter -= 1
             if counter == 0:
                 break
-            reason = self._reason[var]
+            reason_ref = reason[var]
         learned[0] = literal ^ 1
 
         # Conflict-clause minimization: drop literals implied by the rest.
-        marked = set(lit >> 1 for lit in learned[1:])
+        # At this point ``seen`` is True for exactly the variables of
+        # ``learned[1:]`` (every resolved variable, including the UIP, was
+        # cleared during the resolution loop), so it doubles as the
+        # marked set without building one.
         kept = [learned[0]]
         for other in learned[1:]:
-            reason = self._reason[other >> 1]
-            if reason is None:
+            reason_ref = reason[other >> 1]
+            if reason_ref < 0:
                 kept.append(other)
                 continue
-            if all(
-                (lit >> 1) in marked or self._level[lit >> 1] == 0
-                for lit in reason
-                if lit != (other ^ 1)
-            ):
+            negated = other ^ 1
+            redundant = True
+            for k in range(reason_ref, reason_ref + data[reason_ref - 1]):
+                lit = data[k]
+                if lit == negated:
+                    continue
+                var = lit >> 1
+                if not seen[var] and level[var] != 0:
+                    redundant = False
+                    break
+            if redundant:
                 self.stats.minimized_literals += 1
                 continue
             kept.append(other)
@@ -432,64 +787,211 @@ class SatSolver:
             # Find the second-highest level and move its literal to slot 1.
             best = 1
             for k in range(2, len(learned)):
-                if self._level[learned[k] >> 1] > self._level[learned[best] >> 1]:
+                if level[learned[k] >> 1] > level[learned[best] >> 1]:
                     best = k
             learned[1], learned[best] = learned[best], learned[1]
-            backtrack_level = self._level[learned[1] >> 1]
+            backtrack_level = level[learned[1] >> 1]
         return learned, backtrack_level
 
     def _backtrack(self, level):
         if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
-        for index in range(len(self._trail) - 1, limit - 1, -1):
-            internal = self._trail[index]
-            var = internal >> 1
-            self._phase[var] = 1 - (internal & 1)
-            self._var_value[var] = _UNASSIGNED
-            self._reason[var] = None
-            self._order.push(var, self._activity)
-        del self._trail[limit:]
+        trail = self._trail
+        lit_val = self._lit_val
+        reason = self._reason
+        phase = self._phase
+        pending = self._pending_detach
+        order = self._order
+        heap = order.heap
+        position = order.position
+        sift_up = order._sift_up
+        activity = self._activity
+        if pending:
+            for internal in reversed(trail[limit:]):
+                var = internal >> 1
+                phase[var] = 1 - (internal & 1)
+                lit_val[internal] = 0
+                lit_val[internal ^ 1] = 0
+                reason_ref = reason[var]
+                reason[var] = _NO_REASON
+                if reason_ref in pending:
+                    # A deferred detach_clause: the clause just stopped
+                    # being this variable's reason, so the removal is now
+                    # safe.
+                    pending.discard(reason_ref)
+                    self._complete_detach(reason_ref)
+                if var not in position:
+                    position[var] = len(heap)
+                    heap.append(var)
+                    sift_up(len(heap) - 1, activity)
+        else:
+            # Common case (no deferred detaches): per-literal work only.
+            for internal in reversed(trail[limit:]):
+                var = internal >> 1
+                phase[var] = 1 - (internal & 1)
+                lit_val[internal] = 0
+                lit_val[internal ^ 1] = 0
+                reason[var] = _NO_REASON
+                # order.push, inlined: implied variables that were never
+                # popped are still on the heap and skip straight through.
+                if var not in position:
+                    position[var] = len(heap)
+                    heap.append(var)
+                    sift_up(len(heap) - 1, activity)
+        del trail[limit:]
         del self._trail_lim[level:]
-        self._queue_head = len(self._trail)
+        self._queue_head = len(trail)
 
     # -- learned clause database -----------------------------------------
 
+    def _alloc_learned(self, literals):
+        """Store a learned clause in the arena and watch it."""
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._cla_activity[slot] = 0.0
+        else:
+            slot = len(self._cla_activity)
+            self._cla_activity.append(0.0)
+        ref = self._arena.add(literals, learnt=True, slot=slot)
+        self._learned_refs.append(ref)
+        self._watch(ref)
+        return ref
+
+    def is_locked(self, ref):
+        """True while the clause is the reason for its first literal.
+
+        O(1): relies on the reason-block invariant (literal 0 of a reason
+        block is the implied literal and cannot be displaced while the
+        assignment stands). Binary clauses propagate from the implication
+        lists without normalization, so either literal may be the implied
+        one; both are checked.
+        """
+        data = self._arena.data
+        lit_val = self._lit_val
+        reason = self._reason
+        first = data[ref]
+        if lit_val[first] > 0 and reason[first >> 1] == ref:
+            return True
+        if data[ref - 1] == 2:
+            second = data[ref + 1]
+            return lit_val[second] > 0 and reason[second >> 1] == ref
+        return False
+
+    def detach_clause(self, ref):
+        """Remove a clause from the solver.
+
+        Locked clauses (currently serving as a reason) are never removed
+        in place -- the request is deferred and completes when
+        backtracking unassigns the implied literal, so propagation and
+        conflict analysis stay sound in between. Returns True when the
+        clause was removed immediately, False when deferred.
+        """
+        if ref in self._pending_detach:
+            return False
+        if self.is_locked(ref):
+            self._pending_detach.add(ref)
+            return False
+        self._complete_detach(ref)
+        return True
+
+    def _complete_detach(self, ref):
+        self._remove_watches(ref)
+        if self._arena.is_learnt(ref):
+            self._free_slots.append(self._arena.slot(ref))
+            self._learned_refs.remove(ref)
+            self._arena.mark_dead(ref)
+            self.stats.deleted_clauses += 1
+        else:
+            self._num_problem -= 1
+
+    def _remove_watches(self, ref):
+        """Swap-pop the clause's pair out of both watch lists; never
+        leaves a stale offset behind."""
+        data = self._arena.data
+        entry = -ref if data[ref - 1] == 2 else ref
+        for literal in (data[ref], data[ref + 1]):
+            pair_list = self._watches[literal ^ 1]
+            for index in range(0, len(pair_list), 2):
+                if pair_list[index] == entry:
+                    pair_list[index] = pair_list[-2]
+                    pair_list[index + 1] = pair_list[-1]
+                    del pair_list[-2:]
+                    break
+
     def _reduce_db(self):
-        """Remove roughly half of the inactive learned clauses."""
-        self._learned.sort(key=lambda info: info[1])
+        """Remove roughly half of the inactive learned clauses.
+
+        The locked check is per-offset and O(1): a clause whose first
+        literal is true *because of this clause* is some variable's
+        reason and must survive (it will be needed by conflict analysis
+        and final-conflict extraction).
+        """
+        arena = self._arena
+        data = arena.data
+        activity = self._cla_activity
+        lit_val = self._lit_val
+        reason = self._reason
+        learned = self._learned_refs
+        learned.sort(key=lambda ref: activity[data[ref - 3]])
         keep = []
-        locked = set()
-        for var in range(self.num_vars):
-            reason = self._reason[var]
-            if reason is not None:
-                locked.add(id(reason))
-        half = len(self._learned) // 2
-        for position, info in enumerate(self._learned):
-            clause = info[0]
-            if position < half and len(clause) > 2 and id(clause) not in locked:
-                self._detach(clause)
+        half = len(learned) // 2
+        for position, ref in enumerate(learned):
+            first = data[ref]
+            locked = lit_val[first] > 0 and reason[first >> 1] == ref
+            if position < half and data[ref - 1] > 2 and not locked:
+                self._remove_watches(ref)
+                self._free_slots.append(data[ref - 3])
+                arena.mark_dead(ref)
                 self.stats.deleted_clauses += 1
             else:
-                keep.append(info)
-        self._learned = keep
+                keep.append(ref)
+        self._learned_refs = keep
+        if arena.wasted * 2 > len(data):
+            self._collect()
 
-    def _detach(self, clause):
-        for watched in (clause[0] ^ 1, clause[1] ^ 1):
-            watch_list = self._watches[watched]
-            for index, candidate in enumerate(watch_list):
-                if candidate is clause:
-                    watch_list[index] = watch_list[-1]
-                    watch_list.pop()
-                    break
+    def _collect(self):
+        """Compact the arena and remap every stored offset."""
+        mapping = self._arena.compact()
+        for watch_list in self._watches:
+            for index in range(0, len(watch_list), 2):
+                entry = watch_list[index]
+                if entry < 0:
+                    watch_list[index] = -mapping[-entry]
+                else:
+                    watch_list[index] = mapping[entry]
+        self._reason = [
+            mapping[ref] if ref >= 0 else _NO_REASON for ref in self._reason
+        ]
+        self._learned_refs = [mapping[ref] for ref in self._learned_refs]
+        self._pending_detach = {mapping[ref] for ref in self._pending_detach}
+        if self._cnf is not None:
+            self._cnf.remap_refs(mapping)
+        if telemetry.enabled:
+            telemetry.counter_add("sat.arena_collections", engine="sat")
 
     # -- main search --------------------------------------------------
 
     def _pick_branch_literal(self):
-        while self._order:
-            var = self._order.pop(self._activity)
-            if self._var_value[var] == _UNASSIGNED:
-                return 2 * var + (1 - self._phase[var])
+        # ``_VarOrder.pop`` inlined: a decision typically discards several
+        # already-assigned variables before finding an unassigned one, so
+        # the pop loop runs hot.
+        order = self._order
+        heap = order.heap
+        position = order.position
+        sift_down = order._sift_down
+        activity = self._activity
+        lit_val = self._lit_val
+        while heap:
+            top = heap[0]
+            last = heap.pop()
+            del position[top]
+            if heap:
+                heap[0] = last
+                position[last] = 0
+                sift_down(0, activity)
+            if lit_val[2 * top] == 0:
+                return 2 * top + (1 - self._phase[top])
         return None
 
     def solve(self, assumptions=(), max_conflicts=None, max_work=None):
@@ -542,7 +1044,8 @@ class SatSolver:
         for literal in internal_assumptions:
             self.grow_to((literal >> 1) + 1)
 
-        base_work = self.stats.work()
+        stats = self.stats
+        base_work = stats.work()
         restart_index = 0
         conflicts_total = 0
         conflict_limit = luby(restart_index) * 100
@@ -552,7 +1055,7 @@ class SatSolver:
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats.conflicts += 1
+                stats.conflicts += 1
                 conflicts_total += 1
                 if deep:
                     if len(self._trail) > self._deep_max_trail:
@@ -565,20 +1068,18 @@ class SatSolver:
                 learned, backtrack_level = self._analyze(conflict)
                 self._backtrack(backtrack_level)
                 if len(learned) == 1:
-                    self._enqueue(learned[0], None)
+                    self._enqueue(learned[0], _NO_REASON)
                 else:
-                    info = [learned, 0.0]
-                    self._learned.append(info)
-                    self._attach(learned)
-                    self._bump_clause(info)
-                    self.stats.learned_clauses += 1
-                    self._enqueue(learned[0], learned)
+                    ref = self._alloc_learned(learned)
+                    self._bump_clause(ref)
+                    stats.learned_clauses += 1
+                    self._enqueue(learned[0], ref)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= self._cla_decay
-                if max_conflicts is not None and self.stats.conflicts >= max_conflicts:
+                if max_conflicts is not None and stats.conflicts >= max_conflicts:
                     self._backtrack(0)
                     return UNKNOWN
-                if max_work is not None and self.stats.work() - base_work >= max_work:
+                if max_work is not None and stats.work() - base_work >= max_work:
                     self._backtrack(0)
                     return UNKNOWN
                 if governor.interrupted("sat"):
@@ -588,35 +1089,36 @@ class SatSolver:
                     conflicts_total = 0
                     restart_index += 1
                     conflict_limit = luby(restart_index) * 100
-                    self.stats.restarts += 1
+                    stats.restarts += 1
                     self._backtrack(0)
-                if self.stats.learned_clauses > 0 and len(self._learned) > max(
-                    2000, 2 * len(self._clauses)
+                if stats.learned_clauses > 0 and len(self._learned_refs) > max(
+                    2000, 2 * self._num_problem
                 ):
                     self._reduce_db()
                 continue
 
             # No conflict: re-apply assumptions, then decide.
             decision = None
-            for literal in internal_assumptions[len(self._trail_lim) :]:
-                value = self._lit_value(literal)
-                if value is True:
-                    self._trail_lim.append(len(self._trail))
-                    continue
-                if value is False:
-                    self._analyze_final(literal)
-                    self._backtrack(0)
-                    return UNSAT
-                decision = literal
-                break
+            if internal_assumptions:
+                for literal in internal_assumptions[len(self._trail_lim) :]:
+                    value = self._lit_val[literal]
+                    if value > 0:
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    if value < 0:
+                        self._analyze_final(literal)
+                        self._backtrack(0)
+                        return UNSAT
+                    decision = literal
+                    break
             if decision is None:
                 decision = self._pick_branch_literal()
                 if decision is None:
                     return SAT
-                self.stats.decisions += 1
+                stats.decisions += 1
             self._trail_lim.append(len(self._trail))
-            self._enqueue(decision, None)
-            if max_work is not None and self.stats.work() - base_work >= max_work:
+            self._enqueue(decision, _NO_REASON)
+            if max_work is not None and stats.work() - base_work >= max_work:
                 self._backtrack(0)
                 return UNKNOWN
             if governor.interrupted("sat"):
@@ -626,6 +1128,7 @@ class SatSolver:
     def _analyze_final(self, failed_literal):
         """Compute the subset of assumptions implying ``failed_literal``'s
         negation (the assumption-level unsat core)."""
+        data = self._arena.data
         core = {failed_literal ^ 1}
         seen = set()
         queue = [failed_literal]
@@ -635,12 +1138,13 @@ class SatSolver:
             if var in seen:
                 continue
             seen.add(var)
-            reason = self._reason[var]
-            if reason is None:
+            reason_ref = self._reason[var]
+            if reason_ref < 0:
                 if self._level[var] > 0:
                     core.add(literal ^ 1)
             else:
-                for other in reason:
+                for k in range(reason_ref, reason_ref + data[reason_ref - 1]):
+                    other = data[k]
                     if (other >> 1) != var and self._level[other >> 1] > 0:
                         queue.append(other ^ 1)
         self._final_conflict = sorted(self._external(lit) for lit in core)
@@ -673,7 +1177,15 @@ class SatSolver:
         incremental reuse); database reduction may delete some between
         calls, so this is a lower bound on clauses ever learned.
         """
-        return len(self._learned)
+        return len(self._learned_refs)
+
+    def learned_refs(self):
+        """Arena offsets of the retained learned clauses (a copy)."""
+        return list(self._learned_refs)
+
+    def clause_literals(self, ref):
+        """A clause's literals in DIMACS form (current arena order)."""
+        return self._arena.dimacs(ref)
 
     def model(self):
         """The satisfying assignment as a ``{var: bool}`` dict.
@@ -681,9 +1193,9 @@ class SatSolver:
         Unassigned variables (possible when clauses never mention them)
         default to False.
         """
+        lit_val = self._lit_val
         return {
-            var: (self._var_value[var - 1] == 1)
-            for var in range(1, self.num_vars + 1)
+            var: lit_val[2 * (var - 1)] > 0 for var in range(1, self.num_vars + 1)
         }
 
     def work(self):
@@ -693,6 +1205,9 @@ class SatSolver:
 
 def solve_cnf(cnf, assumptions=(), max_conflicts=None, max_work=None):
     """One-shot convenience: solve a :class:`~repro.sat.cnf.CNF`.
+
+    Copies the clauses into a private solver (repeated calls on the same
+    CNF stay byte-identical; attached solvers may reorder arena blocks).
 
     Returns:
         A ``(result, model, stats)`` triple; model is None unless SAT.

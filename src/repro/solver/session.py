@@ -68,7 +68,9 @@ class _BoundedBackend:
 
     def __init__(self):
         self.blaster = BitBlaster()
-        self.solver = SatSolver(0)
+        # Structure sharing: the solver watches the blaster's arena
+        # blocks in place; _sync attaches new blocks without copying.
+        self.solver = SatSolver(cnf=self.blaster.cnf)
         self._synced = 0
         self._root_unsat = False
         self._literals = {}  # term tid -> assumption literal
@@ -93,17 +95,15 @@ class _BoundedBackend:
         return literal
 
     def _sync(self):
-        """Feed clauses produced since the previous check to the solver."""
-        clauses = self.blaster.cnf.clauses
-        added = 0
-        while self._synced < len(clauses):
-            clause = clauses[self._synced]
-            self._synced += 1
-            added += 1
-            if not self._root_unsat and not self.solver.add_clause(clause):
+        """Attach clauses produced since the previous check in place."""
+        cnf = self.blaster.cnf
+        added = len(cnf) - self._synced
+        if added:
+            if not self.solver.attach(start=self._synced) and not self._root_unsat:
                 self._root_unsat = True
-        if self.solver.num_vars < self.blaster.cnf.num_vars:
-            self.solver.grow_to(self.blaster.cnf.num_vars)
+            self._synced = len(cnf)
+        if self.solver.num_vars < cnf.num_vars:
+            self.solver.grow_to(cnf.num_vars)
         return added
 
     def check(self, scopes, declarations, budget):

@@ -1,0 +1,275 @@
+"""Clause-arena identity and lifecycle: locked-clause survival across
+DB reduction, deferred detach soundness, learned-clause implication, and
+the Luby restart sequence against its defining recurrence."""
+
+import random
+
+from repro import telemetry
+from repro.bv.bitblast import BitBlaster
+from repro.sat.arena import ClauseArena, decode_literal, encode_literal
+from repro.sat.cnf import CNF
+from repro.sat.solver import SAT, UNSAT, SatSolver, luby, solve_cnf
+from repro.smtlib import build
+from repro.smtlib.script import Script
+
+
+def random_3sat(seed, num_vars=60, ratio=4.0):
+    rng = random.Random(seed)
+    cnf = CNF(num_vars)
+    for _ in range(int(ratio * num_vars)):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v * rng.choice((1, -1)) for v in variables])
+    return cnf
+
+
+def watch_refs(solver):
+    """Every arena offset currently present in a watch list (binary
+    clauses are stored as negated offsets)."""
+    refs = set()
+    for watch_list in solver._watches:
+        refs.update(abs(entry) for entry in watch_list[0::2])
+    return refs
+
+
+class TestLubySequence:
+    def reference(self, i):
+        # Defining recurrence (1-based): luby(i) = 2**(k-1) when
+        # i == 2**k - 1, else luby(i - 2**(k-1) + 1).
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        return self.reference(i - (1 << (k - 1)) + 1)
+
+    def test_matches_reference_recurrence(self):
+        assert [luby(i) for i in range(256)] == [
+            self.reference(i + 1) for i in range(256)
+        ]
+
+    def test_prefix(self):
+        assert [luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestLockedClauseSurvival:
+    """Regression: with the old ``id()``-based locked set, a reason clause
+    whose Python wrapper was not the identical object could be reclaimed
+    by ``_reduce_db`` while still recorded as a variable's reason,
+    leaving conflict analysis reading freed memory after a restart. The
+    arena-offset check must keep it alive."""
+
+    def build_locked_state(self):
+        solver = SatSolver(3)
+        # Decisions: -2 then -3; then a learned clause (1 2 3) forces 1.
+        solver._trail_lim.append(len(solver._trail))
+        solver._enqueue(encode_literal(-2))
+        solver._trail_lim.append(len(solver._trail))
+        solver._enqueue(encode_literal(-3))
+        ref = solver._alloc_learned(
+            [encode_literal(1), encode_literal(2), encode_literal(3)]
+        )
+        solver._enqueue(encode_literal(1), ref)
+        assert solver.is_locked(ref)
+        return solver, ref
+
+    def fill_learned_db(self, solver, count=40):
+        # Higher-activity padding clauses so the locked clause sorts into
+        # the deletion half of the database.
+        for _ in range(count):
+            base = solver.num_vars
+            solver.grow_to(base + 3)
+            padding = solver._alloc_learned(
+                [encode_literal(base + 1), encode_literal(base + 2),
+                 encode_literal(base + 3)]
+            )
+            solver._bump_clause(padding)
+
+    def test_reason_survives_reduce(self):
+        solver, ref = self.build_locked_state()
+        self.fill_learned_db(solver)
+        solver._reduce_db()
+        # The reason pointer must still reference a live block with the
+        # original literals (the offset may have moved if the reduction
+        # triggered a compaction -- follow the reason array, not ``ref``).
+        reason_ref = solver._reason[encode_literal(1) >> 1]
+        assert reason_ref >= 0
+        assert not solver._arena.is_dead(reason_ref)
+        assert sorted(solver.clause_literals(reason_ref)) == [1, 2, 3]
+        assert solver.is_locked(reason_ref)
+        assert reason_ref in solver.learned_refs()
+
+    def test_reduce_then_restart_stays_consistent(self):
+        solver, _ = self.build_locked_state()
+        self.fill_learned_db(solver)
+        solver._reduce_db()
+        # No watch list may hold a dead offset after reduction.
+        for watched in watch_refs(solver):
+            assert not solver._arena.is_dead(watched)
+        # Restart (backtrack to the root) and solve: the padding clauses
+        # are all satisfiable together, so the search must finish cleanly.
+        solver._backtrack(0)
+        assert solver.solve() == SAT
+
+    def test_unlocked_clauses_still_deleted(self):
+        solver, ref = self.build_locked_state()
+        self.fill_learned_db(solver)
+        deleted_before = solver.stats.deleted_clauses
+        solver._reduce_db()
+        assert solver.stats.deleted_clauses > deleted_before
+
+
+class TestDetachMidSearch:
+    def test_detach_unlocked_removes_immediately(self):
+        solver = SatSolver(4)
+        solver.add_clause([1, 2, 3])
+        ref = solver._alloc_learned(
+            [encode_literal(2), encode_literal(3), encode_literal(4)]
+        )
+        assert solver.detach_clause(ref) is True
+        assert ref not in solver.learned_refs()
+        assert ref not in watch_refs(solver)
+        assert solver._arena.is_dead(ref)
+
+    def test_detach_locked_is_deferred_until_backtrack(self):
+        solver = SatSolver(3)
+        solver._trail_lim.append(len(solver._trail))
+        solver._enqueue(encode_literal(-2))
+        solver._trail_lim.append(len(solver._trail))
+        solver._enqueue(encode_literal(-3))
+        ref = solver._alloc_learned(
+            [encode_literal(1), encode_literal(2), encode_literal(3)]
+        )
+        solver._enqueue(encode_literal(1), ref)
+
+        # Refused while the clause is some variable's reason: it must
+        # stay watched (conflict analysis may still resolve on it), and
+        # a second request must not double-register.
+        assert solver.detach_clause(ref) is False
+        assert solver.detach_clause(ref) is False
+        assert ref in solver.learned_refs()
+        assert ref in watch_refs(solver)
+
+        # Backtracking past the implied literal completes the detach.
+        solver._backtrack(0)
+        assert ref not in solver.learned_refs()
+        assert ref not in watch_refs(solver)
+        assert solver._arena.is_dead(ref)
+        assert solver.stats.deleted_clauses == 1
+
+    def test_detach_leaves_no_stale_offsets(self):
+        # Detach every other learned clause after a real search; every
+        # offset remaining in any watch list must be a live block.
+        cnf = random_3sat(11)
+        solver = SatSolver(cnf=cnf)
+        assert solver.attach()
+        solver.solve()
+        for position, ref in enumerate(solver.learned_refs()):
+            if position % 2 == 0:
+                solver.detach_clause(ref)
+        live = set(solver._arena.blocks())
+        for watched in watch_refs(solver):
+            assert watched in live
+        # The solver must still answer correctly with the survivors.
+        assert solver.solve() in (SAT, UNSAT)
+
+
+class TestLearnedClausesImplied:
+    """Property: every clause the solver learns -- including minimized
+    ones -- is a logical consequence of the problem clauses. Witnessed by
+    re-solving the problem with the learned clause's negation: UNSAT."""
+
+    def test_learned_clauses_follow_from_problem(self):
+        checked = 0
+        for seed in range(6):
+            cnf = random_3sat(seed, num_vars=40)
+            solver = SatSolver(cnf.num_vars)
+            for clause in cnf.clauses:
+                solver.add_clause(clause)
+            solver.solve()
+            if solver.stats.minimized_literals:
+                checked += 1
+            for ref in solver.learned_refs()[:8]:
+                negation = CNF(cnf.num_vars)
+                for clause in cnf.clauses:
+                    negation.add_clause(clause)
+                for literal in solver.clause_literals(ref):
+                    negation.add_clause([-literal])
+                result, _, _ = solve_cnf(negation)
+                assert result == UNSAT
+        # The property is only interesting if minimization actually fired
+        # on at least one instance.
+        assert checked > 0
+
+
+class TestStructureSharing:
+    def test_gate_blocks_reused_not_reemitted(self):
+        telemetry.enable()
+        try:
+            blaster = BitBlaster()
+            a = blaster.cnf.new_var()
+            b = blaster.cnf.new_var()
+            first = blaster._gate_and(a, b)
+            clauses_after_first = len(blaster.cnf)
+            reuse_before = blaster.stats.block_reuse
+            second = blaster._gate_and(a, b)
+        finally:
+            telemetry.disable()
+            telemetry.get_registry().reset()
+        assert second == first
+        assert len(blaster.cnf) == clauses_after_first
+        assert blaster.stats.block_reuse == reuse_before + 3
+        (start, end), = [
+            span for key, span in blaster.block_spans().items()
+            if key[0] == "and"
+        ]
+        assert end - start == 3
+        # Spans are clause indices, stable across arena compaction.
+        for index in range(start, end):
+            assert blaster.cnf.clause_ref(index) >= 0
+
+    def test_attached_solver_matches_copying_solver(self):
+        x = build.BitVecVar("x", 6)
+        y = build.BitVecVar("y", 6)
+        product = build.BVMul(x, y)
+        script = Script.from_assertions(
+            [build.Eq(product, build.BitVecConst(35, 6))]
+        )
+        blaster = BitBlaster()
+        for assertion in script.assertions:
+            blaster.assert_term(assertion)
+        attached = SatSolver(cnf=blaster.cnf)
+        assert attached.attach()
+        copied_result, _, _ = solve_cnf(blaster.cnf)
+        assert attached.solve() == copied_result == SAT
+
+
+class TestArenaInvariants:
+    def test_literal_encoding_roundtrip(self):
+        for literal in list(range(-9, 0)) + list(range(1, 10)):
+            assert decode_literal(encode_literal(literal)) == literal
+
+    def test_compact_preserves_live_blocks_in_order(self):
+        arena = ClauseArena()
+        refs = [
+            arena.add([encode_literal(lit) for lit in clause])
+            for clause in ([1, -2], [2, 3, -4], [-1, 4], [3, -3 - 1])
+        ]
+        arena.mark_dead(refs[1])
+        assert arena.wasted == 3 + 3  # literals + header
+        before = [arena.dimacs(ref) for ref in refs if ref != refs[1]]
+        mapping = arena.compact()
+        assert refs[1] not in mapping
+        remapped = [mapping[ref] for ref in refs if ref != refs[1]]
+        assert remapped == sorted(remapped)  # relative order kept
+        assert [arena.dimacs(ref) for ref in remapped] == before
+        assert arena.wasted == 0
+
+    def test_mark_dead_is_idempotent(self):
+        arena = ClauseArena()
+        ref = arena.add([0, 2, 4])
+        arena.mark_dead(ref)
+        arena.mark_dead(ref)
+        assert arena.wasted == 6
+        assert list(arena.blocks()) == []
